@@ -1,0 +1,40 @@
+package gmr
+
+import (
+	"math"
+
+	"gmr/internal/river"
+)
+
+// benchNakdong and benchInputs build the hydrology benchmark workload.
+
+func benchNakdong() *river.Network { return river.Nakdong() }
+
+func benchInputs(net *river.Network, days int) *river.Inputs {
+	in := &river.Inputs{
+		Rain:     map[string][]float64{},
+		Attr:     map[string][][]float64{},
+		RainAttr: map[string][]float64{},
+	}
+	for _, s := range net.Stations {
+		if s.Virtual {
+			continue
+		}
+		rain := make([]float64, days)
+		attr := make([][]float64, days)
+		for t := range attr {
+			row := make([]float64, 8)
+			for k := range row {
+				row[k] = 2 + math.Sin(float64(t+k)/30)
+			}
+			attr[t] = row
+			if t%9 == 0 {
+				rain[t] = 15
+			}
+		}
+		in.Rain[s.Name] = rain
+		in.Attr[s.Name] = attr
+		in.RainAttr[s.Name] = []float64{4, 0.1, 4, 9, 1, 7, 2.5, 0.3}
+	}
+	return in
+}

@@ -1,0 +1,51 @@
+// Command datagen writes the synthetic Nakdong-style monitoring dataset to
+// a CSV file (see internal/dataset for the generator's design and the
+// substitutions it makes for the paper's private data):
+//
+//	datagen -out nakdong.csv [-seed 7] [-start 1996] [-end 2008] [-train-end 2005]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gmr/internal/dataset"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "nakdong.csv", "output CSV path ('-' for stdout)")
+		seed     = flag.Int64("seed", 7, "generator seed")
+		start    = flag.Int("start", 1996, "first year")
+		end      = flag.Int("end", 2008, "last year (inclusive)")
+		trainEnd = flag.Int("train-end", 2005, "last training year (inclusive)")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: *seed, StartYear: *start, EndYear: *end, TrainEndYear: *trainEnd,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %d days (%d train, %d test) to %s\n",
+			ds.Days, ds.TrainEnd, ds.Days-ds.TrainEnd, *out)
+	}
+}

@@ -1,0 +1,3 @@
+module gmr
+
+go 1.22

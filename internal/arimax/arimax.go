@@ -1,0 +1,302 @@
+// Package arimax implements the ARIMAX baseline of Section IV-B2: an
+// autoregressive model with exogenous regressors and moving-average errors,
+// fit by the Hannan–Rissanen two-stage least-squares procedure, with
+// AIC-based automatic order selection standing in for the paper's
+// auto-ARIMA. Forecasting over the test window is recursive (free-run):
+// lagged dependent values beyond the training window are the model's own
+// predictions, matching the process models, which also never see test
+// observations.
+package arimax
+
+import (
+	"fmt"
+	"math"
+
+	"gmr/internal/stats"
+)
+
+// Model is a fitted ARX(p) + MA(q) + exogenous regression.
+type Model struct {
+	// P and Q are the autoregressive and moving-average orders.
+	P, Q int
+	// Const is the intercept.
+	Const float64
+	// AR holds the p autoregressive coefficients (lag 1..p).
+	AR []float64
+	// MA holds the q moving-average coefficients.
+	MA []float64
+	// Exog holds one coefficient per exogenous column.
+	Exog []float64
+	// AIC is the Akaike information criterion on the training window.
+	AIC float64
+	// resid are the training residuals (used to seed MA terms in
+	// forecasting).
+	resid []float64
+	// trainTail holds the last P training observations.
+	trainTail []float64
+	// yMin and yMax bound the training observations (forecast guard
+	// rails).
+	yMin, yMax float64
+}
+
+// Fit estimates an ARX(p)+MA(q) model on y with exogenous matrix x
+// (x[t] aligned with y[t]; may be nil for a pure ARIMA). It uses
+// Hannan–Rissanen: a long-AR first stage estimates the innovations, which
+// enter the second-stage OLS as regressors.
+func Fit(y []float64, x [][]float64, p, q int) (*Model, error) {
+	n := len(y)
+	if p < 0 || q < 0 || p+q == 0 && len(x) == 0 {
+		return nil, fmt.Errorf("arimax: nothing to fit (p=%d q=%d, no exogenous)", p, q)
+	}
+	if x != nil && len(x) != n {
+		return nil, fmt.Errorf("arimax: exogenous length %d != %d", len(x), n)
+	}
+	maxLag := p
+	if q > 0 {
+		// Stage 1: long AR to estimate innovations.
+		longP := p + q + 2
+		if longP > maxLag {
+			maxLag = longP
+		}
+	}
+	if n <= maxLag+p+q+8 {
+		return nil, fmt.Errorf("arimax: series too short (%d) for orders p=%d q=%d", n, p, q)
+	}
+
+	var innov []float64
+	if q > 0 {
+		longP := p + q + 2
+		ar, err := fitAR(y, longP)
+		if err != nil {
+			return nil, err
+		}
+		innov = make([]float64, n)
+		for t := longP; t < n; t++ {
+			pred := ar[0]
+			for l := 1; l <= longP; l++ {
+				pred += ar[l] * y[t-l]
+			}
+			innov[t] = y[t] - pred
+		}
+	}
+
+	// Stage 2: full OLS with AR lags, innovation lags, and exogenous.
+	nx := 0
+	if x != nil {
+		nx = len(x[0])
+	}
+	cols := 1 + p + q + nx
+	var rows [][]float64
+	var targets []float64
+	for t := maxLag; t < n; t++ {
+		row := make([]float64, 0, cols)
+		row = append(row, 1)
+		for l := 1; l <= p; l++ {
+			row = append(row, y[t-l])
+		}
+		for l := 1; l <= q; l++ {
+			row = append(row, innov[t-l])
+		}
+		if x != nil {
+			row = append(row, x[t]...)
+		}
+		rows = append(rows, row)
+		targets = append(targets, y[t])
+	}
+	b, err := stats.OLS(rows, targets)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{P: p, Q: q, Const: b[0]}
+	m.AR = append(m.AR, b[1:1+p]...)
+	m.MA = append(m.MA, b[1+p:1+p+q]...)
+	m.Exog = append(m.Exog, b[1+p+q:]...)
+
+	// Residuals and AIC on the training window.
+	preds := stats.Predict(rows, b)
+	var sse float64
+	m.resid = make([]float64, len(preds))
+	for i := range preds {
+		r := targets[i] - preds[i]
+		m.resid[i] = r
+		sse += r * r
+	}
+	nn := float64(len(preds))
+	m.AIC = nn*math.Log(sse/nn+1e-300) + 2*float64(cols)
+	if p > 0 {
+		m.trainTail = append(m.trainTail, y[n-p:]...)
+	}
+	m.yMin, m.yMax = y[0], y[0]
+	for _, v := range y {
+		m.yMin = math.Min(m.yMin, v)
+		m.yMax = math.Max(m.yMax, v)
+	}
+	return m, nil
+}
+
+// fitAR fits a pure AR(p) with intercept by OLS, returning [c, φ1..φp].
+func fitAR(y []float64, p int) ([]float64, error) {
+	n := len(y)
+	if n <= 2*p+2 {
+		return nil, fmt.Errorf("arimax: series too short for AR(%d)", p)
+	}
+	var rows [][]float64
+	var t []float64
+	for i := p; i < n; i++ {
+		row := make([]float64, 0, p+1)
+		row = append(row, 1)
+		for l := 1; l <= p; l++ {
+			row = append(row, y[i-l])
+		}
+		rows = append(rows, row)
+		t = append(t, y[i])
+	}
+	return stats.OLS(rows, t)
+}
+
+// AutoFit selects (p, q) by AIC over p ∈ [1, maxP], q ∈ [0, maxQ] —
+// the stand-in for pmdarima's AutoARIMA used in the paper.
+func AutoFit(y []float64, x [][]float64, maxP, maxQ int) (*Model, error) {
+	var best *Model
+	for p := 1; p <= maxP; p++ {
+		for q := 0; q <= maxQ; q++ {
+			m, err := Fit(y, x, p, q)
+			if err != nil {
+				continue
+			}
+			if best == nil || m.AIC < best.AIC {
+				best = m
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("arimax: no order fit the series")
+	}
+	return best, nil
+}
+
+// ForecastRecursive produces a free-run multi-step forecast over the
+// horizon covered by xFuture (one row per step; may be nil when the model
+// has no exogenous part, in which case steps sets the horizon). Lagged
+// dependent values are the model's own predictions once the training tail
+// is exhausted; future innovations are zero (their conditional mean), so MA
+// terms fade after Q steps.
+func (m *Model) ForecastRecursive(xFuture [][]float64, steps int) []float64 {
+	if xFuture != nil {
+		steps = len(xFuture)
+	}
+	hist := append([]float64(nil), m.trainTail...)
+	resid := append([]float64(nil), m.resid...)
+	out := make([]float64, steps)
+	// Stabilize the free run: one-step OLS on smooth series routinely
+	// estimates an AR polynomial at or slightly beyond the unit circle,
+	// which explodes geometrically when recursed. Shrink the AR
+	// coefficients to a stationary region (standard damping), and clamp
+	// the recursion to a wide window around the training range as a
+	// backstop, so a poor model stays poor instead of overflowing.
+	ar := append([]float64(nil), m.AR...)
+	var arSum float64
+	for _, a := range ar {
+		arSum += math.Abs(a)
+	}
+	adj := 0.0
+	if arSum > 0.98 {
+		scale := 0.98 / arSum
+		for i := range ar {
+			ar[i] *= scale
+		}
+		// Preserve the training-mean fixed point under damping by
+		// compensating the intercept.
+		var yMean float64
+		for _, v := range m.trainTail {
+			yMean += v
+		}
+		if len(m.trainTail) > 0 {
+			yMean /= float64(len(m.trainTail))
+		}
+		for i := range ar {
+			adj += (m.AR[i] - ar[i]) * yMean
+		}
+	}
+	span := m.yMax - m.yMin
+	if span <= 0 {
+		span = 1
+	}
+	clampLo, clampHi := m.yMin-10*span, m.yMax+10*span
+	for t := 0; t < steps; t++ {
+		pred := m.Const + adj
+		for l := 1; l <= m.P; l++ {
+			if len(hist)-l >= 0 {
+				pred += ar[l-1] * hist[len(hist)-l]
+			}
+		}
+		for l := 1; l <= m.Q; l++ {
+			if len(resid)-l >= 0 {
+				pred += m.MA[l-1] * resid[len(resid)-l]
+			}
+		}
+		if xFuture != nil {
+			for j, c := range m.Exog {
+				pred += c * xFuture[t][j]
+			}
+		}
+		if pred < clampLo {
+			pred = clampLo
+		} else if pred > clampHi {
+			pred = clampHi
+		}
+		out[t] = pred
+		hist = append(hist, pred)
+		resid = append(resid, 0) // E[future innovation] = 0
+	}
+	return out
+}
+
+// FittedOneStep returns the model's one-step-ahead fitted values over the
+// training window (aligned to the rows used in the second-stage OLS), for
+// reporting training error.
+func (m *Model) FittedOneStep(y []float64, x [][]float64) ([]float64, []float64, error) {
+	n := len(y)
+	maxLag := m.P
+	if m.Q > 0 && m.P+m.Q+2 > maxLag {
+		maxLag = m.P + m.Q + 2
+	}
+	if n <= maxLag {
+		return nil, nil, fmt.Errorf("arimax: series shorter than lag window")
+	}
+	// Reconstruct innovations with the long-AR stage as in Fit.
+	var innov []float64
+	if m.Q > 0 {
+		longP := m.P + m.Q + 2
+		ar, err := fitAR(y, longP)
+		if err != nil {
+			return nil, nil, err
+		}
+		innov = make([]float64, n)
+		for t := longP; t < n; t++ {
+			pred := ar[0]
+			for l := 1; l <= longP; l++ {
+				pred += ar[l] * y[t-l]
+			}
+			innov[t] = y[t] - pred
+		}
+	}
+	var preds, obs []float64
+	for t := maxLag; t < n; t++ {
+		pred := m.Const
+		for l := 1; l <= m.P; l++ {
+			pred += m.AR[l-1] * y[t-l]
+		}
+		for l := 1; l <= m.Q; l++ {
+			pred += m.MA[l-1] * innov[t-l]
+		}
+		if x != nil {
+			for j, c := range m.Exog {
+				pred += c * x[t][j]
+			}
+		}
+		preds = append(preds, pred)
+		obs = append(obs, y[t])
+	}
+	return preds, obs, nil
+}

@@ -1,0 +1,170 @@
+package arimax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genARX simulates y_t = c + φ1 y_{t-1} + β x_t + ε_t.
+func genARX(rng *rand.Rand, n int, c, phi, beta, noise float64) (y []float64, x [][]float64) {
+	y = make([]float64, n)
+	x = make([][]float64, n)
+	y[0] = c / (1 - phi)
+	for t := 0; t < n; t++ {
+		x[t] = []float64{math.Sin(float64(t) / 7)}
+		if t > 0 {
+			y[t] = c + phi*y[t-1] + beta*x[t][0] + noise*rng.NormFloat64()
+		}
+	}
+	return y, x
+}
+
+func TestFitRecoversARXCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	y, x := genARX(rng, 2000, 0.5, 0.8, 1.5, 0.05)
+	m, err := Fit(y, x, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AR[0]-0.8) > 0.02 {
+		t.Errorf("φ1 = %v, want ≈0.8", m.AR[0])
+	}
+	if math.Abs(m.Exog[0]-1.5) > 0.05 {
+		t.Errorf("β = %v, want ≈1.5", m.Exog[0])
+	}
+	if math.Abs(m.Const-0.5) > 0.1 {
+		t.Errorf("c = %v, want ≈0.5", m.Const)
+	}
+}
+
+func TestFitMA(t *testing.T) {
+	// y_t = 0.2 + ε_t + 0.6 ε_{t-1}: Hannan–Rissanen should find a
+	// positive MA coefficient near 0.6.
+	rng := rand.New(rand.NewSource(2))
+	n := 4000
+	y := make([]float64, n)
+	prevE := 0.0
+	for t := 0; t < n; t++ {
+		e := rng.NormFloat64()
+		y[t] = 0.2 + e + 0.6*prevE
+		prevE = e
+	}
+	m, err := Fit(y, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MA[0] < 0.3 || m.MA[0] > 0.9 {
+		t.Errorf("MA coefficient %v, want near 0.6", m.MA[0])
+	}
+}
+
+func TestAutoFitPrefersTrueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// AR(2): y_t = 0.5 y_{t-1} + 0.3 y_{t-2} + ε.
+	n := 3000
+	y := make([]float64, n)
+	for t := 2; t < n; t++ {
+		y[t] = 0.5*y[t-1] + 0.3*y[t-2] + 0.1*rng.NormFloat64()
+	}
+	m, err := AutoFit(y, nil, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P < 2 {
+		t.Errorf("AutoFit chose p=%d for an AR(2) process", m.P)
+	}
+	// The chosen model's first two AR coefficients should be near truth.
+	if math.Abs(m.AR[0]-0.5) > 0.1 {
+		t.Errorf("φ1 = %v", m.AR[0])
+	}
+}
+
+func TestForecastRecursiveConvergesToProcessMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	y, _ := genARX(rng, 1500, 1.0, 0.7, 0, 0.05)
+	m, err := Fit(y, nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := m.ForecastRecursive(nil, 200)
+	if len(fc) != 200 {
+		t.Fatalf("forecast length %d", len(fc))
+	}
+	// Free-run AR(1) forecast converges to c/(1-φ) ≈ 10/3.
+	trueMean := 1.0 / (1 - 0.7)
+	if math.Abs(fc[199]-trueMean) > 0.3 {
+		t.Errorf("long-horizon forecast %v, want ≈%v", fc[199], trueMean)
+	}
+	// Monotone decay toward the fitted model's own fixed point for a
+	// positive-φ AR(1).
+	fitMean := m.Const / (1 - m.AR[0])
+	for i := 1; i < len(fc); i++ {
+		if math.Abs(fc[i]-fitMean) > math.Abs(fc[i-1]-fitMean)+1e-9 {
+			t.Fatalf("forecast diverging at step %d", i)
+		}
+	}
+}
+
+func TestForecastUsesExogenous(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	y, x := genARX(rng, 1500, 0, 0.3, 2.0, 0.05)
+	m, err := Fit(y, x, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forecast under two different exogenous futures must differ.
+	hi := make([][]float64, 50)
+	lo := make([][]float64, 50)
+	for i := range hi {
+		hi[i] = []float64{1}
+		lo[i] = []float64{-1}
+	}
+	fHi := m.ForecastRecursive(hi, 0)
+	fLo := m.ForecastRecursive(lo, 0)
+	if fHi[49] <= fLo[49] {
+		t.Errorf("exogenous effect missing: hi %v, lo %v", fHi[49], fLo[49])
+	}
+}
+
+func TestFittedOneStepAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	y, x := genARX(rng, 1200, 0.5, 0.8, 1.5, 0.05)
+	m, err := Fit(y, x, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, obs, err := m.FittedOneStep(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(obs) || len(preds) == 0 {
+		t.Fatal("bad fitted series")
+	}
+	var sse float64
+	for i := range preds {
+		d := preds[i] - obs[i]
+		sse += d * d
+	}
+	rmse := math.Sqrt(sse / float64(len(preds)))
+	if rmse > 0.08 {
+		t.Errorf("one-step RMSE %v, want ≈ noise level 0.05", rmse)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, nil, 1, 0); err == nil {
+		t.Error("too-short series accepted")
+	}
+	if _, err := Fit(make([]float64, 100), [][]float64{{1}}, 1, 0); err == nil {
+		t.Error("mismatched exogenous accepted")
+	}
+	if _, err := Fit(make([]float64, 100), nil, 0, 0); err == nil {
+		t.Error("empty model accepted")
+	}
+	// Constant series make OLS singular; AutoFit must report an error,
+	// not panic.
+	if _, err := AutoFit(make([]float64, 100), nil, 2, 1); err == nil {
+		t.Error("constant series accepted")
+	}
+}

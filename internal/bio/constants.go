@@ -1,0 +1,113 @@
+// Package bio implements the biological process of the river water quality
+// model: the phytoplankton/zooplankton dynamics of equations (1) and (2) of
+// the paper, the constant-parameter priors of Table III, the temporal
+// variables of Table IV, and the forward simulator that integrates a
+// (possibly revised) process over time.
+package bio
+
+// Constant is one row of Table III: a model constant with its prior
+// (expected value) and exploration bounds used by Gaussian mutation and by
+// every model-calibration baseline.
+type Constant struct {
+	Name        string
+	Description string
+	Mean        float64
+	Min         float64
+	Max         float64
+	Unit        string
+}
+
+// DefaultConstants returns the sixteen constant parameters of Table III in
+// their canonical order. The returned slice is freshly allocated; callers
+// may modify it.
+func DefaultConstants() []Constant {
+	return []Constant{
+		{"CUA", "Max growth rate of phytoplankton", 1.89, 0.1, 4.0, "day-1"},
+		{"CUZ", "Max growth rate of zooplankton", 0.15, 0.0, 0.3, "day-1"},
+		{"CBRA", "Breath rate of phytoplankton", 0.021, 0.0, 0.17, "day-1"},
+		{"CBRZ", "Breath rate of zooplankton", 0.05, 0.0, 0.2, "day-1"},
+		{"CMFR", "Maximum feeding rate", 0.19, 0.01, 0.8, "day-1"},
+		{"CDZ", "Death rate of zooplankton", 0.04, 0.01, 0.1, "day-1"},
+		{"CFS", "Half-saturation constant of food", 5.0, 4.0, 6.0, "ug L-1"},
+		{"CBTP1", "Blue-green optimal temperature", 27.0, 20.0, 34.0, "degC"},
+		{"CBTP2", "Diatom optimal temperature", 5.0, 1.0, 20.0, "degC"},
+		{"CFmin", "Minimum food concentration", 1.0, 0.1, 1.9, "ug L-1"},
+		{"CBL", "Best light for phytoplankton", 26.78, 24.0, 30.0, "MJ m-2 d-1"},
+		{"CN", "Half-saturation constant of nitrogen", 0.0351, 0.02, 0.05, "mg L-1"},
+		{"CP", "Half-saturation constant of phosphorus", 0.00167, 0.001, 0.02, "mg L-1"},
+		{"CSI", "Half-saturation constant of silica", 0.00467, 0.001, 0.2, "mg L-1"},
+		{"CBMT", "Breath multiplier on grazing", 0.04, 0.01, 0.07, ""},
+		{"CPT", "Temperature coefficient for phytoplankton growth", 0.005, 0.003, 0.2, "degC-2"},
+	}
+}
+
+// ParamIndex returns the name→index map for a constant slice, defining the
+// layout of parameter vectors passed to the simulator.
+func ParamIndex(cs []Constant) map[string]int {
+	m := make(map[string]int, len(cs))
+	for i, c := range cs {
+		m[c.Name] = i
+	}
+	return m
+}
+
+// Means extracts the expected values of the constants, i.e. the parameter
+// vector of the unrevised, uncalibrated MANUAL model.
+func Means(cs []Constant) []float64 {
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.Mean
+	}
+	return out
+}
+
+// Variable is one row of Table IV: a temporal variable whose value is
+// imported from the observed data at each evaluation time.
+type Variable struct {
+	Name        string
+	Description string
+}
+
+// StateVars returns the names of the two state variables of the biological
+// process, in the layout order of variable vectors: BPhy then BZoo.
+func StateVars() []string { return []string{"BPhy", "BZoo"} }
+
+// Variables returns the ten temporal variables of Table IV in their
+// canonical order.
+func Variables() []Variable {
+	return []Variable{
+		{"Vlgt", "Irradiance (light intensity)"},
+		{"Vn", "Nitrogen concentration"},
+		{"Vp", "Phosphorus concentration"},
+		{"Vsi", "Silica concentration"},
+		{"Vtmp", "Water temperature"},
+		{"Vdo", "Dissolved oxygen"},
+		{"Vcd", "Electric conductivity"},
+		{"Vph", "pH"},
+		{"Valk", "Alkalinity"},
+		{"Vsd", "Water transparency"},
+	}
+}
+
+// VarIndex returns the name→index map defining the layout of variable
+// vectors: the two state variables first (BPhy=0, BZoo=1), then the ten
+// temporal variables of Table IV in canonical order.
+func VarIndex() map[string]int {
+	m := map[string]int{}
+	for i, s := range StateVars() {
+		m[s] = i
+	}
+	for i, v := range Variables() {
+		m[v.Name] = len(StateVars()) + i
+	}
+	return m
+}
+
+// NumVars is the length of a variable vector: 2 state + 10 temporal.
+const NumVars = 12
+
+// Indices of the state variables within a variable vector.
+const (
+	IdxBPhy = 0
+	IdxBZoo = 1
+)

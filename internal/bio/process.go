@@ -1,0 +1,124 @@
+package bio
+
+import "gmr/internal/expr"
+
+// This file builds the manually designed biological process of equations
+// (1) and (2) as expression trees, with the extension labels of equations
+// (5) and (6) attached so the TAG grammar can revise it. The labels are
+// inert during evaluation.
+//
+// Extension symbols follow Section III-C:
+//
+//	Ext1 — whole dBPhy/dt right-hand side
+//	Ext2 — whole dBZoo/dt right-hand side
+//	Ext3 — µPhy (photosynthetic productivity)
+//	Ext5 — γPhy (phytoplankton respiration, {CBRA})
+//	Ext6 — ϕ   (grazing pressure, {CMFR·λPhy})
+//	Ext7 — µZoo (zooplankton growth, {CUZ·λPhy})
+//	Ext8 — zooplankton base respiration ({CBRZ})
+//	Ext9 — δZoo (zooplankton death, {CDZ})
+//
+// (The paper's numbering skips Ext4.)
+
+func v(name string) *expr.Node { return expr.NewVar(name) }
+func c(name string) *expr.Node { return expr.NewParam(name) }
+
+// square returns (n * n) with an independent clone for the second factor.
+func square(n *expr.Node) *expr.Node { return expr.Mul(n, n.Clone()) }
+
+// LambdaPhy builds λPhy = (BPhy - CFmin) / (CFS + BPhy - CFmin), the food
+// limitation term shared by grazing and zooplankton growth.
+func LambdaPhy() *expr.Node {
+	num := expr.Sub(v("BPhy"), c("CFmin"))
+	den := expr.Sub(expr.Add(c("CFS"), v("BPhy")), c("CFmin"))
+	return expr.Div(num, den)
+}
+
+// LightLimitation builds f(Vlgt) = (Vlgt/CBL) · e^(1 - Vlgt/CBL).
+func LightLimitation() *expr.Node {
+	ratio := expr.Div(v("Vlgt"), c("CBL"))
+	return expr.Mul(ratio, expr.Exp(expr.Sub(expr.NewLit(1), ratio.Clone())))
+}
+
+// NutrientLimitation builds
+// g(Vn,Vp,Vsi) = min(Vn/(CN+Vn), Vp/(CP+Vp), Vsi/(CSI+Vsi)).
+func NutrientLimitation() *expr.Node {
+	monod := func(vn, cn string) *expr.Node {
+		return expr.Div(v(vn), expr.Add(c(cn), v(vn)))
+	}
+	return expr.Min(monod("Vn", "CN"), monod("Vp", "CP"), monod("Vsi", "CSI"))
+}
+
+// TemperatureLimitation builds
+// h(Vtmp) = max(e^(−CPT·(Vtmp−CBTP1)²), e^(−CPT·(Vtmp−CBTP2)²)), the
+// bimodal optimum capturing summer cyanobacteria and winter diatom blooms.
+func TemperatureLimitation() *expr.Node {
+	bell := func(opt string) *expr.Node {
+		d := expr.Sub(v("Vtmp"), c(opt))
+		return expr.Exp(expr.Neg(expr.Mul(c("CPT"), square(d))))
+	}
+	return expr.Max(bell("CBTP1"), bell("CBTP2"))
+}
+
+// MuPhy builds µPhy = CUA · f(Vlgt) · g(Vn,Vp,Vsi) · h(Vtmp), labeled Ext3.
+func MuPhy() *expr.Node {
+	mu := expr.Mul(expr.Mul(expr.Mul(c("CUA"), LightLimitation()), NutrientLimitation()), TemperatureLimitation())
+	return mu.Labeled("Ext3")
+}
+
+// GammaPhy builds γPhy = {CBRA}, labeled Ext5.
+func GammaPhy() *expr.Node { return c("CBRA").Labeled("Ext5") }
+
+// Phi builds ϕ = {CMFR · λPhy}, labeled Ext6.
+func Phi() *expr.Node {
+	return expr.Mul(c("CMFR"), LambdaPhy()).Labeled("Ext6")
+}
+
+// PhyDeriv builds the full right-hand side of equation (1)/(5):
+// dBPhy/dt = {BPhy·(µPhy − γPhy) − BZoo·ϕ}, labeled Ext1.
+func PhyDeriv() *expr.Node {
+	growth := expr.Mul(v("BPhy"), expr.Sub(MuPhy(), GammaPhy()))
+	grazing := expr.Mul(v("BZoo"), Phi())
+	return expr.Sub(growth, grazing).Labeled("Ext1")
+}
+
+// MuZoo builds µZoo = {CUZ · λPhy}, labeled Ext7.
+func MuZoo() *expr.Node {
+	return expr.Mul(c("CUZ"), LambdaPhy()).Labeled("Ext7")
+}
+
+// GammaZoo builds γZoo = {CBRZ} Ext8 + CBMT·ϕ.
+func GammaZoo() *expr.Node {
+	return expr.Add(c("CBRZ").Labeled("Ext8"), expr.Mul(c("CBMT"), Phi().Clone()))
+}
+
+// DeltaZoo builds δZoo = {CDZ}, labeled Ext9.
+func DeltaZoo() *expr.Node { return c("CDZ").Labeled("Ext9") }
+
+// ZooDeriv builds the full right-hand side of equation (2)/(6):
+// dBZoo/dt = {BZoo·(µZoo − γZoo − δZoo)}, labeled Ext2.
+func ZooDeriv() *expr.Node {
+	inner := expr.Sub(expr.Sub(MuZoo(), gammaZooUnlabeled()), DeltaZoo())
+	return expr.Mul(v("BZoo"), inner).Labeled("Ext2")
+}
+
+// gammaZooUnlabeled is GammaZoo with the Ext8 label kept (it is inside the
+// Ext2 region); the distinction exists only to document that γZoo as a
+// whole is not separately extensible — only its CBRZ term (Ext8) is.
+func gammaZooUnlabeled() *expr.Node { return GammaZoo() }
+
+// ManualSystem returns the unrevised process of equations (1) and (2) as a
+// bound pair of derivative expressions plus the canonical parameter layout.
+// It is the MANUAL baseline and the starting point of every revision.
+func ManualSystem() (phy, zoo *expr.Node, consts []Constant, err error) {
+	phy, zoo = PhyDeriv(), ZooDeriv()
+	consts = DefaultConstants()
+	vi, pi := VarIndex(), ParamIndex(consts)
+	if err = expr.Bind(phy, vi, pi); err != nil {
+		return nil, nil, nil, err
+	}
+	if err = expr.Bind(zoo, vi, pi); err != nil {
+		return nil, nil, nil, err
+	}
+	return phy, zoo, consts, nil
+}

@@ -1,0 +1,161 @@
+package bio
+
+import (
+	"math"
+
+	"gmr/internal/expr"
+)
+
+// RHS evaluates one derivative (the right-hand side of dB/dt) given the
+// current variable vector (layout per VarIndex) and the constant-parameter
+// vector.
+type RHS interface {
+	Eval(vars, params []float64) float64
+}
+
+// TreeRHS interprets a bound expression tree directly. It is the slow path
+// that "runtime compilation" replaces; kept as the Fig 10 baseline and as a
+// reference implementation.
+type TreeRHS struct {
+	Node *expr.Node
+}
+
+// Eval evaluates the tree, mapping any evaluation error to NaN so invalid
+// models lose rather than abort the run.
+func (t TreeRHS) Eval(vars, params []float64) float64 {
+	v, err := t.Node.Eval(&expr.Env{Vars: vars, Params: params})
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// CompiledRHS runs a compiled bytecode program with a reusable stack. A
+// CompiledRHS is NOT safe for concurrent use; create one per goroutine.
+type CompiledRHS struct {
+	Prog  *expr.Program
+	stack []float64
+}
+
+// NewCompiledRHS compiles the bound tree n.
+func NewCompiledRHS(n *expr.Node) (*CompiledRHS, error) {
+	p, err := expr.Compile(n)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledRHS{Prog: p, stack: make([]float64, 0, p.StackSize())}, nil
+}
+
+// Eval executes the compiled program.
+func (c *CompiledRHS) Eval(vars, params []float64) float64 {
+	return c.Prog.EvalStack(vars, params, c.stack)
+}
+
+// System couples the two derivative expressions of the biological process.
+type System struct {
+	Phy RHS // dBPhy/dt
+	Zoo RHS // dBZoo/dt
+}
+
+// SimConfig controls forward integration of a System.
+type SimConfig struct {
+	// SubSteps is the number of forward-Euler substeps per day; the
+	// zero value means 4 (Δt = 0.25 d), which keeps the manual process
+	// stable across the Table III parameter box.
+	SubSteps int
+	// Phy0 and Zoo0 are the initial biomasses.
+	Phy0, Zoo0 float64
+	// ClampMin and ClampMax bound both state variables after every
+	// substep, preventing runaway growth of hostile revisions. Zero
+	// values mean 1e-3 and 1e5.
+	ClampMin, ClampMax float64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.SubSteps <= 0 {
+		c.SubSteps = 4
+	}
+	if c.ClampMin == 0 {
+		c.ClampMin = 1e-3
+	}
+	if c.ClampMax == 0 {
+		c.ClampMax = 1e5
+	}
+	return c
+}
+
+// Run integrates the system over the forcing series. forcing[t] is a
+// variable vector of length NumVars whose temporal columns hold the day-t
+// measurements; its state columns are ignored (the simulator tracks state
+// itself) and the caller's rows are never mutated.
+//
+// After integrating each day, perStep is called with the day index and the
+// predicted phytoplankton biomass; returning false stops the run early
+// (this is the hook used by evaluation short-circuiting). perStep may be
+// nil. Run returns the predictions for the days it integrated, one per
+// forcing row unless stopped early.
+//
+// If the state ever becomes non-finite the run stops and the prediction for
+// that day is NaN, which downstream metrics score as +Inf error.
+func (s *System) Run(forcing [][]float64, params []float64, cfg SimConfig, perStep func(t int, bphy float64) bool) []float64 {
+	cfg = cfg.withDefaults()
+	preds := make([]float64, 0, len(forcing))
+	bphy, bzoo := cfg.Phy0, cfg.Zoo0
+	scratch := make([]float64, NumVars)
+	h := 1.0 / float64(cfg.SubSteps)
+	for t, row := range forcing {
+		copy(scratch, row)
+		for step := 0; step < cfg.SubSteps; step++ {
+			scratch[IdxBPhy] = bphy
+			scratch[IdxBZoo] = bzoo
+			dPhy := s.Phy.Eval(scratch, params)
+			dZoo := s.Zoo.Eval(scratch, params)
+			bphy += h * dPhy
+			bzoo += h * dZoo
+			if math.IsNaN(bphy) || math.IsNaN(bzoo) {
+				preds = append(preds, math.NaN())
+				return preds
+			}
+			bphy = clamp(bphy, cfg.ClampMin, cfg.ClampMax)
+			bzoo = clamp(bzoo, cfg.ClampMin, cfg.ClampMax)
+		}
+		preds = append(preds, bphy)
+		if perStep != nil && !perStep(t, bphy) {
+			return preds
+		}
+	}
+	return preds
+}
+
+// Predict is Run without the per-step hook.
+func (s *System) Predict(forcing [][]float64, params []float64, cfg SimConfig) []float64 {
+	return s.Run(forcing, params, cfg, nil)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NewCompiledSystem compiles both derivative trees into a System.
+func NewCompiledSystem(phy, zoo *expr.Node) (*System, error) {
+	p, err := NewCompiledRHS(phy)
+	if err != nil {
+		return nil, err
+	}
+	z, err := NewCompiledRHS(zoo)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Phy: p, Zoo: z}, nil
+}
+
+// NewTreeSystem wraps both derivative trees in the interpreting evaluator.
+func NewTreeSystem(phy, zoo *expr.Node) *System {
+	return &System{Phy: TreeRHS{phy}, Zoo: TreeRHS{zoo}}
+}

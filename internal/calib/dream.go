@@ -1,0 +1,171 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DREAM is differential evolution adaptive Metropolis [Vrugt 2016]: N
+// parallel chains propose jumps built from the difference of two other
+// chains' states scaled by γ = 2.38/√(2d), with occasional γ=1 mode jumps
+// and per-dimension crossover, accepted by the Metropolis rule.
+type DREAM struct {
+	// Chains is the number of parallel chains; zero means max(2d, 8).
+	Chains int
+	// CR is the per-dimension crossover probability; zero means 0.9.
+	CR float64
+}
+
+// NewDREAM returns the DREAM calibrator.
+func NewDREAM() *DREAM { return &DREAM{} }
+
+// Name implements Calibrator.
+func (*DREAM) Name() string { return "DREAM" }
+
+// Calibrate implements Calibrator.
+func (dr *DREAM) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64) {
+	d := len(lo)
+	n := dr.Chains
+	if n == 0 {
+		n = 2 * d
+		if n < 8 {
+			n = 8
+		}
+	}
+	cr := dr.CR
+	if cr == 0 {
+		cr = 0.9
+	}
+	evals := 0
+	chains := make([]scored, n)
+	for i := range chains {
+		x := uniformBox(rng, lo, hi)
+		chains[i] = scored{x, obj(x)}
+		evals++
+	}
+	best, bestF := cloneVec(chains[0].x), chains[0].f
+	for _, c := range chains {
+		if c.f < bestF {
+			best, bestF = cloneVec(c.x), c.f
+		}
+	}
+	temp := math.Max(bestF/10, 1e-9)
+	gammaBase := 2.38 / math.Sqrt(2*float64(d))
+	for evals < budget {
+		for i := 0; i < n && evals < budget; i++ {
+			r1, r2 := rng.Intn(n), rng.Intn(n)
+			for r1 == i {
+				r1 = rng.Intn(n)
+			}
+			for r2 == i || r2 == r1 {
+				r2 = rng.Intn(n)
+			}
+			gamma := gammaBase
+			if rng.Float64() < 0.1 {
+				gamma = 1.0 // mode-jumping step
+			}
+			prop := cloneVec(chains[i].x)
+			moved := false
+			for j := 0; j < d; j++ {
+				if rng.Float64() > cr {
+					continue
+				}
+				e := 1e-6 * (hi[j] - lo[j]) * rng.NormFloat64()
+				prop[j] += gamma*(chains[r1].x[j]-chains[r2].x[j]) + e
+				moved = true
+			}
+			if !moved {
+				j := rng.Intn(d)
+				prop[j] += gamma * (chains[r1].x[j] - chains[r2].x[j])
+			}
+			clampBox(prop, lo, hi)
+			f := obj(prop)
+			evals++
+			if f < chains[i].f || rng.Float64() < math.Exp((chains[i].f-f)/temp) {
+				chains[i] = scored{prop, f}
+				if f < bestF {
+					best, bestF = cloneVec(prop), f
+				}
+			}
+		}
+	}
+	return best, bestF
+}
+
+// DEMCZ is DE-MC(Z) [ter Braak & Vrugt 2008]: differential evolution Markov
+// chain sampling where jump vectors are built from states drawn from a
+// growing archive Z of past states rather than the current population,
+// allowing fewer parallel chains.
+type DEMCZ struct {
+	// Chains is the number of parallel chains; zero means 3.
+	Chains int
+	// ArchiveEvery thins archive updates; zero means every accepted
+	// state is archived.
+	ArchiveEvery int
+}
+
+// NewDEMCZ returns the DE-MCz calibrator.
+func NewDEMCZ() *DEMCZ { return &DEMCZ{} }
+
+// Name implements Calibrator.
+func (*DEMCZ) Name() string { return "DE-MCz" }
+
+// Calibrate implements Calibrator.
+func (dz *DEMCZ) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64) {
+	d := len(lo)
+	n := dz.Chains
+	if n == 0 {
+		n = 3
+	}
+	evals := 0
+	// Seed the archive with an initial spread of states.
+	m0 := 10 * n
+	if m0 > budget/2 {
+		m0 = budget / 2
+	}
+	if m0 < n {
+		m0 = n
+	}
+	archive := make([]scored, 0, budget)
+	for i := 0; i < m0; i++ {
+		x := uniformBox(rng, lo, hi)
+		archive = append(archive, scored{x, obj(x)})
+		evals++
+	}
+	chains := make([]scored, n)
+	copy(chains, archive[:n])
+	best, bestF := cloneVec(archive[0].x), archive[0].f
+	for _, s := range archive {
+		if s.f < bestF {
+			best, bestF = cloneVec(s.x), s.f
+		}
+	}
+	temp := math.Max(bestF/10, 1e-9)
+	gamma := 2.38 / math.Sqrt(2*float64(d))
+	for evals < budget {
+		for i := 0; i < n && evals < budget; i++ {
+			a := archive[rng.Intn(len(archive))]
+			b := archive[rng.Intn(len(archive))]
+			g := gamma
+			if rng.Float64() < 0.1 {
+				g = 1.0
+			}
+			prop := cloneVec(chains[i].x)
+			for j := 0; j < d; j++ {
+				e := 1e-6 * (hi[j] - lo[j]) * rng.NormFloat64()
+				prop[j] += g*(a.x[j]-b.x[j]) + e
+			}
+			clampBox(prop, lo, hi)
+			f := obj(prop)
+			evals++
+			if f < chains[i].f || rng.Float64() < math.Exp((chains[i].f-f)/temp) {
+				chains[i] = scored{prop, f}
+				archive = append(archive, scored{cloneVec(prop), f})
+				if f < bestF {
+					best, bestF = cloneVec(prop), f
+				}
+			}
+		}
+	}
+	return best, bestF
+}

@@ -1,0 +1,85 @@
+package calib
+
+import (
+	"math/rand"
+)
+
+// GA is a real-coded genetic algorithm: tournament selection, blend (BLX-α)
+// crossover, Gaussian mutation scaled to the box, and elitism. This is the
+// classic approach previously used for river-model calibration [Kim et al.
+// 2010, 2014], which GMR's model revision is compared against.
+type GA struct {
+	// PopSize is the population size; zero means 24.
+	PopSize int
+	// PMut is the per-gene mutation probability; zero means 0.2.
+	PMut float64
+	// Elite is the number of elites; zero means 2.
+	Elite int
+}
+
+// NewGA returns a GA calibrator with default settings.
+func NewGA() *GA { return &GA{} }
+
+// Name implements Calibrator.
+func (*GA) Name() string { return "GA" }
+
+// Calibrate implements Calibrator.
+func (g *GA) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64) {
+	pop := g.PopSize
+	if pop == 0 {
+		pop = 24
+	}
+	pmut := g.PMut
+	if pmut == 0 {
+		pmut = 0.2
+	}
+	elite := g.Elite
+	if elite == 0 {
+		elite = 2
+	}
+	evals := 0
+	evaluate := func(x []float64) float64 {
+		evals++
+		return obj(x)
+	}
+	cur := make([]scored, pop)
+	for i := range cur {
+		x := uniformBox(rng, lo, hi)
+		cur[i] = scored{x, evaluate(x)}
+	}
+	sortScored(cur)
+	tournament := func() []float64 {
+		a, b := cur[rng.Intn(pop)], cur[rng.Intn(pop)]
+		if a.f < b.f {
+			return a.x
+		}
+		return b.x
+	}
+	const alpha = 0.3 // BLX-α expansion
+	for evals < budget {
+		next := make([]scored, 0, pop)
+		for i := 0; i < elite && i < len(cur); i++ {
+			next = append(next, scored{cloneVec(cur[i].x), cur[i].f})
+		}
+		for len(next) < pop && evals < budget {
+			p1, p2 := tournament(), tournament()
+			child := make([]float64, len(lo))
+			for j := range child {
+				a, b := p1[j], p2[j]
+				if a > b {
+					a, b = b, a
+				}
+				span := b - a
+				child[j] = a - alpha*span + rng.Float64()*(span+2*alpha*span)
+				if rng.Float64() < pmut {
+					child[j] += rng.NormFloat64() * (hi[j] - lo[j]) / 10
+				}
+			}
+			clampBox(child, lo, hi)
+			next = append(next, scored{child, evaluate(child)})
+		}
+		cur = next
+		sortScored(cur)
+	}
+	return cur[0].x, cur[0].f
+}

@@ -1,0 +1,158 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SCEUA is the shuffled complex evolution method (SCE-UA) [Duan et al.
+// 1994]: the population is partitioned into complexes, each complex evolves
+// independently through competitive simplex (CCE) steps on triangularly
+// weighted sub-simplexes, and complexes are periodically shuffled back
+// together.
+type SCEUA struct {
+	// Complexes is the number of complexes p; zero means 4.
+	Complexes int
+	// PerComplex is the complex size m; zero means 2d+1.
+	PerComplex int
+}
+
+// NewSCEUA returns the SCE-UA calibrator.
+func NewSCEUA() *SCEUA { return &SCEUA{} }
+
+// Name implements Calibrator.
+func (*SCEUA) Name() string { return "SCE-UA" }
+
+// Calibrate implements Calibrator.
+func (s *SCEUA) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64) {
+	d := len(lo)
+	p := s.Complexes
+	if p == 0 {
+		p = 4
+	}
+	m := s.PerComplex
+	if m == 0 {
+		m = 2*d + 1
+	}
+	evals := 0
+	counted := func(x []float64) float64 {
+		evals++
+		return obj(x)
+	}
+	pop := make([]scored, 0, p*m)
+	for i := 0; i < p*m; i++ {
+		x := uniformBox(rng, lo, hi)
+		pop = append(pop, scored{x, counted(x)})
+		if evals >= budget {
+			break
+		}
+	}
+	sortScored(pop)
+	q := d + 1 // sub-simplex size
+	if q > m {
+		q = m
+	}
+	for evals < budget {
+		// Partition into complexes by systematic sampling: complex k
+		// gets ranks k, k+p, k+2p, ...
+		complexes := make([][]scored, p)
+		for i, ind := range pop {
+			k := i % p
+			complexes[k] = append(complexes[k], ind)
+		}
+		// Evolve each complex with a few CCE steps.
+		for k := 0; k < p && evals < budget; k++ {
+			cx := complexes[k]
+			for step := 0; step < m && evals < budget; step++ {
+				// Triangular selection of q distinct members.
+				idx := triangularSample(rng, len(cx), q)
+				sub := make([]scored, q)
+				for i, j := range idx {
+					sub[i] = cx[j]
+				}
+				sortScored(sub)
+				worst := sub[q-1]
+				// Reflect the worst through the centroid of the rest.
+				centroid := make([]float64, d)
+				for _, sc := range sub[:q-1] {
+					for j := range centroid {
+						centroid[j] += sc.x[j]
+					}
+				}
+				for j := range centroid {
+					centroid[j] /= float64(q - 1)
+				}
+				refl := make([]float64, d)
+				for j := range refl {
+					refl[j] = 2*centroid[j] - worst.x[j]
+				}
+				clampBox(refl, lo, hi)
+				fRefl := counted(refl)
+				var repl scored
+				switch {
+				case fRefl < worst.f:
+					repl = scored{refl, fRefl}
+				case evals < budget:
+					// Contraction.
+					contr := make([]float64, d)
+					for j := range contr {
+						contr[j] = (centroid[j] + worst.x[j]) / 2
+					}
+					fContr := counted(contr)
+					if fContr < worst.f {
+						repl = scored{contr, fContr}
+					} else if evals < budget {
+						// Random replacement (mutation step).
+						x := uniformBox(rng, lo, hi)
+						repl = scored{x, counted(x)}
+					} else {
+						repl = worst
+					}
+				default:
+					repl = worst
+				}
+				// Replace the worst member of the sub-simplex in cx.
+				worstIdx := idx[0]
+				for _, j := range idx {
+					if cx[j].f > cx[worstIdx].f {
+						worstIdx = j
+					}
+				}
+				cx[worstIdx] = repl
+			}
+			complexes[k] = cx
+		}
+		// Shuffle: merge and re-rank.
+		pop = pop[:0]
+		for _, cx := range complexes {
+			pop = append(pop, cx...)
+		}
+		sortScored(pop)
+	}
+	return pop[0].x, pop[0].f
+}
+
+// triangularSample draws q distinct indices from [0, n) with probability
+// decreasing linearly in rank (index 0 most likely), per the CCE scheme.
+func triangularSample(rng *rand.Rand, n, q int) []int {
+	if q > n {
+		q = n
+	}
+	chosen := map[int]bool{}
+	out := make([]int, 0, q)
+	for len(out) < q {
+		// P(rank i) ∝ n - i: inverse-CDF via rejection-free transform.
+		u := rng.Float64()
+		i := int(float64(n) * (1 - math.Sqrt(1-u)))
+		if i >= n {
+			i = n - 1
+		}
+		if !chosen[i] {
+			chosen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,419 @@
+// Package core is the GMR (genetic model revision) framework of the paper:
+// it wires the prior knowledge (the extensible process grammar, the
+// parameter priors, and the plausible-revision spec of Table II) into the
+// TAG3P engine with speedup-enabled fitness evaluation, runs the
+// evolutionary revision loop of Figure 5, and post-processes the revised
+// models (forecast metrics, variable-selectivity and perturbation-
+// correlation analyses of Figure 9).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gmr/internal/bio"
+	"gmr/internal/calib"
+	"gmr/internal/dataset"
+	"gmr/internal/evalx"
+	"gmr/internal/expr"
+	"gmr/internal/gp"
+	"gmr/internal/grammar"
+	"gmr/internal/metrics"
+	"gmr/internal/stats"
+	"gmr/internal/tag"
+)
+
+// Config configures a GMR run. Zero values default to scaled-down versions
+// of the paper's Appendix B settings so the case study runs on laptop-scale
+// hardware; the paper-scale configuration is expressible through the same
+// fields.
+type Config struct {
+	// GP holds the TAG3P parameters. Priors and InitParamsAtMean are set
+	// by Run from the Table III constants.
+	GP gp.Config
+	// Eval selects the speedup techniques and simulation regime; Sim's
+	// initial biomasses are set by Run from the training observations.
+	Eval evalx.Options
+	// Runs is the number of independent evolutionary runs (paper: 60);
+	// zero means 1. The best model across runs is reported.
+	Runs int
+	// TopK is how many of the best final individuals to keep for the
+	// Figure 9 analyses; zero means 50 (the paper's "50 best models").
+	TopK int
+	// Extensions is the plausible-revision spec; nil means Table II.
+	Extensions []grammar.Extension
+	// Constants are the parameter priors; nil means Table III.
+	Constants []bio.Constant
+	// PreCalibrateBudget is the objective-evaluation budget of the
+	// calibration pass that produces the revision's starting parameter
+	// values (model revision receives "the initial model structure and
+	// parameter values" — in the river-modeling lineage those come from
+	// earlier calibration work). Zero means 3000; negative disables
+	// pre-calibration, starting from the Table III means instead.
+	PreCalibrateBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs == 0 {
+		c.Runs = 1
+	}
+	if c.TopK == 0 {
+		c.TopK = 50
+	}
+	if c.Extensions == nil {
+		c.Extensions = grammar.DefaultExtensions()
+	}
+	if c.Constants == nil {
+		c.Constants = bio.DefaultConstants()
+	}
+	return c
+}
+
+// Result is the outcome of a GMR run.
+type Result struct {
+	// Best is the best individual across all runs.
+	Best *gp.Individual
+	// BestPhy and BestZoo are its simplified derivative expressions.
+	BestPhy, BestZoo *expr.Node
+	// Train/Test metrics of the best model.
+	TrainRMSE, TrainMAE float64
+	TestRMSE, TestMAE   float64
+	// TestPred is the best model's free-run prediction over the test
+	// window.
+	TestPred []float64
+	// TopModels are the best final individuals pooled across runs, up
+	// to Config.TopK, ranked by test RMSE per the paper's reporting
+	// protocol (Section IV-D: "best models denote those with the
+	// smallest test RMSE").
+	TopModels []*gp.Individual
+	// TopTestRMSE aligns with TopModels.
+	TopTestRMSE []float64
+	// PerRun holds each run's engine result.
+	PerRun []*gp.Result
+	// EvalStats aggregates evaluator work across runs.
+	EvalStats evalx.Stats
+}
+
+// Run executes GMR on the dataset: builds the knowledge grammar, evolves
+// Config.Runs populations, and evaluates the best revised model on the
+// held-out test window.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g, err := grammar.River(cfg.Extensions)
+	if err != nil {
+		return nil, err
+	}
+	priors := make([]gp.Prior, len(cfg.Constants))
+	for i, c := range cfg.Constants {
+		priors[i] = gp.Prior{Mean: c.Mean, Min: c.Min, Max: c.Max}
+	}
+	gpCfg := cfg.GP
+	gpCfg.Priors = priors
+	gpCfg.InitParamsAtMean = true
+
+	evalOpts := cfg.Eval
+	evalOpts.Sim.Phy0 = ds.ObsPhy[0]
+	evalOpts.Sim.Zoo0 = ds.ObsZoo[0]
+
+	// Pre-calibration of the unrevised process: each run starts from its
+	// own calibrated parameter vector (different calibration seeds find
+	// different basins of the multimodal box, and the runs then explore
+	// revisions from diverse calibrated starting points).
+	var precalObj calib.Objective
+	if cfg.PreCalibrateBudget >= 0 {
+		obj, err := calib.RiverObjective(ds.TrainForcing(), ds.TrainObsPhy(), evalOpts.Sim)
+		if err != nil {
+			return nil, err
+		}
+		precalObj = obj
+	}
+	lo, hi := calib.Box(cfg.Constants)
+	budget := cfg.PreCalibrateBudget
+	if budget == 0 {
+		budget = 3000
+	}
+
+	res := &Result{}
+	var pool []*gp.Individual
+	for run := 0; run < cfg.Runs; run++ {
+		// Each run gets a fresh evaluator: the short-circuiting
+		// reference and the tree cache are per-run state, and sharing
+		// them would let earlier runs truncate later runs' evaluations
+		// against a foreign best (turning their reported fitnesses
+		// into boundary-hugging surrogates).
+		ev := evalx.New(ds.TrainForcing(), ds.TrainObsPhy(), cfg.Constants, evalOpts)
+		runCfg := gpCfg
+		runCfg.Seed = gpCfg.Seed + int64(run)*1009
+		if precalObj != nil {
+			rng := stats.NewRand(runCfg.Seed ^ 0x5ca1ab1e)
+			// Alternate calibrators across runs for basin diversity.
+			var c calib.Calibrator = calib.NewGA()
+			if run%2 == 1 {
+				c = calib.NewSA()
+			}
+			params, _ := c.Calibrate(precalObj, lo, hi, budget, rng)
+			runCfg.InitParams = params
+			// The unrevised input process with its calibrated
+			// parameters joins the initial population: revision
+			// starts no worse than the knowledge-based baseline.
+			baseline := gp.NewIndividual(&tag.DerivNode{Elem: g.Alphas[0]}, params)
+			runCfg.SeedIndividuals = []*gp.Individual{baseline}
+		}
+		eng, err := gp.NewEngine(g, ev, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.PerRun = append(res.PerRun, r)
+		pool = append(pool, r.Best)
+		pool = append(pool, r.Final...)
+		st := ev.Stats()
+		res.EvalStats.Add(st)
+	}
+
+	// Deduplicate the pool by model identity, keep the (2×TopK)
+	// train-fittest candidates, then rank them by test RMSE — the
+	// paper's reporting protocol (Section IV-D: "best models denote
+	// those with the smallest test RMSE").
+	sort.SliceStable(pool, func(i, j int) bool { return pool[i].Fitness < pool[j].Fitness })
+	seen := map[string]bool{}
+	var candidates []*gp.Individual
+	for pass := 0; pass < 2 && len(candidates) < 2*cfg.TopK; pass++ {
+		for _, ind := range pool {
+			// First pass: only fully evaluated individuals — their
+			// fitnesses are exact, while short-circuited ones are
+			// boundary-hugging surrogates. Second pass fills up with
+			// the rest if needed.
+			if (pass == 0) != ind.FullEval {
+				continue
+			}
+			phy, zoo, err := evalx.ModelExprs(ind)
+			if err != nil {
+				continue
+			}
+			key := phy.String() + "|" + zoo.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, ind)
+			if len(candidates) >= 2*cfg.TopK {
+				break
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no valid model produced")
+	}
+	simTest := evalOpts.Sim
+	simTest.Phy0 = ds.ObsPhy[ds.TrainEnd]
+	simTest.Zoo0 = ds.ObsZoo[ds.TrainEnd]
+	type ranked struct {
+		ind   *gp.Individual
+		rmse  float64
+		train float64
+	}
+	rankedModels := make([]ranked, 0, len(candidates))
+	bestTrain := math.Inf(1)
+	for _, ind := range candidates {
+		trPred, err := evalx.PredictIndividual(ind, cfg.Constants, ds.TrainForcing(), evalOpts.Sim)
+		if err != nil {
+			continue
+		}
+		train := metrics.RMSE(trPred, ds.TrainObsPhy())
+		pred, err := evalx.PredictIndividual(ind, cfg.Constants, ds.TestForcing(), simTest)
+		if err != nil {
+			continue
+		}
+		rankedModels = append(rankedModels, ranked{ind, metrics.RMSE(pred, ds.TestObsPhy()), train})
+		if train < bestTrain {
+			bestTrain = train
+		}
+	}
+	if len(rankedModels) == 0 {
+		return nil, fmt.Errorf("core: no model survived test evaluation")
+	}
+	// Guard the paper's select-by-test protocol: a model that fits the
+	// training window far worse than the best candidate is not a
+	// plausible revision, however lucky its test trajectory.
+	kept := rankedModels[:0]
+	for _, r := range rankedModels {
+		if r.train <= 2*bestTrain {
+			kept = append(kept, r)
+		}
+	}
+	rankedModels = kept
+	sort.SliceStable(rankedModels, func(i, j int) bool { return rankedModels[i].rmse < rankedModels[j].rmse })
+	if len(rankedModels) > cfg.TopK {
+		rankedModels = rankedModels[:cfg.TopK]
+	}
+	for _, r := range rankedModels {
+		res.TopModels = append(res.TopModels, r.ind)
+		res.TopTestRMSE = append(res.TopTestRMSE, r.rmse)
+	}
+	res.Best = res.TopModels[0]
+	res.BestPhy, res.BestZoo, err = evalx.ModelExprs(res.Best)
+	if err != nil {
+		return nil, err
+	}
+
+	// Score the best model on both windows.
+	simTrain := evalOpts.Sim
+	trainPred, err := evalx.PredictIndividual(res.Best, cfg.Constants, ds.TrainForcing(), simTrain)
+	if err != nil {
+		return nil, err
+	}
+	res.TrainRMSE = metrics.RMSE(trainPred, ds.TrainObsPhy())
+	res.TrainMAE = metrics.MAE(trainPred, ds.TrainObsPhy())
+
+	res.TestPred, err = evalx.PredictIndividual(res.Best, cfg.Constants, ds.TestForcing(), simTest)
+	if err != nil {
+		return nil, err
+	}
+	res.TestRMSE = metrics.RMSE(res.TestPred, ds.TestObsPhy())
+	res.TestMAE = metrics.MAE(res.TestPred, ds.TestObsPhy())
+	return res, nil
+}
+
+// Correlation classifies how a variable relates to phytoplankton growth in
+// the Figure 9 perturbation analysis.
+type Correlation int
+
+const (
+	// Uncorrelated: perturbing the variable barely moves the forecast.
+	Uncorrelated Correlation = iota
+	// Correlated: increasing the variable increases biomass.
+	Correlated
+	// InverselyCorrelated: increasing the variable decreases biomass.
+	InverselyCorrelated
+)
+
+func (c Correlation) String() string {
+	switch c {
+	case Correlated:
+		return "correlated"
+	case InverselyCorrelated:
+		return "inversely-correlated"
+	default:
+		return "uncorrelated"
+	}
+}
+
+// Selectivity is one bar of Figure 9: how often a variable appears among
+// the top models and how it correlates with biomass under perturbation.
+type Selectivity struct {
+	Variable    string
+	Percent     float64
+	Correlation Correlation
+}
+
+// AnalyzeSelectivity computes the Figure 9 analysis over the given models:
+// for each temporal variable, the percentage of models whose simplified
+// process contains it, and the sign of the biomass response when the
+// variable is perturbed +10% across the evaluation window (majority vote
+// across models that use the variable).
+func AnalyzeSelectivity(models []*gp.Individual, consts []bio.Constant, forcing [][]float64, sim bio.SimConfig) ([]Selectivity, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("core: no models to analyze")
+	}
+	vi := bio.VarIndex()
+	var out []Selectivity
+	for _, v := range bio.Variables() {
+		count := 0
+		votePos, voteNeg := 0, 0
+		for _, ind := range models {
+			phy, zoo, err := evalx.ModelExprs(ind)
+			if err != nil {
+				continue
+			}
+			if !containsVar(phy, v.Name) && !containsVar(zoo, v.Name) {
+				continue
+			}
+			count++
+			base, err := evalx.PredictIndividual(ind, consts, forcing, sim)
+			if err != nil {
+				continue
+			}
+			pert := perturbForcing(forcing, vi[v.Name], 1.10)
+			moved, err := evalx.PredictIndividual(ind, consts, pert, sim)
+			if err != nil {
+				continue
+			}
+			delta := meanDelta(moved, base)
+			scale := stats.Mean(base)
+			if scale <= 0 {
+				continue
+			}
+			switch {
+			case delta > 0.005*scale:
+				votePos++
+			case delta < -0.005*scale:
+				voteNeg++
+			}
+		}
+		sel := Selectivity{
+			Variable: v.Name,
+			Percent:  100 * float64(count) / float64(len(models)),
+		}
+		switch {
+		case votePos > voteNeg && votePos > 0:
+			sel.Correlation = Correlated
+		case voteNeg > votePos && voteNeg > 0:
+			sel.Correlation = InverselyCorrelated
+		default:
+			sel.Correlation = Uncorrelated
+		}
+		out = append(out, sel)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Percent > out[j].Percent })
+	return out, nil
+}
+
+func containsVar(n *expr.Node, name string) bool {
+	found := false
+	n.Walk(func(m *expr.Node) bool {
+		if m.Kind == expr.Var && m.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func perturbForcing(forcing [][]float64, col int, factor float64) [][]float64 {
+	out := make([][]float64, len(forcing))
+	for i, row := range forcing {
+		cp := append([]float64(nil), row...)
+		cp[col] *= factor
+		out[i] = cp
+	}
+	return out
+}
+
+func meanDelta(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] - b[i]
+	}
+	return s / float64(len(a))
+}
+
+// ManualIndividual builds the unrevised MANUAL model as an individual (the
+// α-tree with Table III means), for baselines and tests.
+func ManualIndividual(cfg Config) (*gp.Individual, *tag.Grammar, error) {
+	cfg = cfg.withDefaults()
+	g, err := grammar.River(cfg.Extensions)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := &tag.DerivNode{Elem: g.Alphas[0]}
+	return gp.NewIndividual(root, bio.Means(cfg.Constants)), g, nil
+}

@@ -1,0 +1,385 @@
+// Package evalx implements fitness evaluation for revised river processes,
+// together with the paper's three orthogonal speedup techniques (Section
+// III-D):
+//
+//   - Evaluation short-circuiting (Algorithm 1): incremental fitness over
+//     the time series is compared against the best previously fully
+//     evaluated fitness scaled by a threshold; once the extrapolated final
+//     fitness cannot beat it, evaluation stops and the extrapolation is
+//     used as a surrogate fitness.
+//   - Tree caching: fitness results are memoized, keyed on the canonical
+//     string of the algebraically simplified process (plus its constant
+//     parameters); simplification raises the hit rate.
+//   - Runtime compilation: derivative trees are compiled to stack-machine
+//     bytecode instead of being re-interpreted node by node (the portable
+//     equivalent of the paper's C++ emission, DESIGN.md §3).
+//
+// The Evaluator implements gp.Evaluator with deterministic batch semantics:
+// the short-circuiting reference fitness is frozen for the duration of a
+// batch and updated at the batch boundary, so parallel evaluation order
+// cannot change results.
+package evalx
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gmr/internal/bio"
+	"gmr/internal/expr"
+	"gmr/internal/gp"
+	"gmr/internal/grammar"
+)
+
+// Extrapolate estimates the final fitness from the intermediate fitness
+// after i of n fitness cases (Algorithm 1's EXTRAPOLATE).
+type Extrapolate func(intermediate float64, i, n int) float64
+
+// RunningRMSE is the default extrapolation: the running RMSE over the
+// cases seen so far is already an estimate of the final RMSE, so it is
+// returned unchanged.
+func RunningRMSE(intermediate float64, i, n int) float64 { return intermediate }
+
+// Pessimistic inflates the running RMSE by the square root of the fraction
+// of cases remaining, modeling error accumulation over the un-simulated
+// horizon; it short-circuits more eagerly.
+func Pessimistic(intermediate float64, i, n int) float64 {
+	if i+1 >= n {
+		return intermediate
+	}
+	return intermediate * math.Sqrt(float64(n)/float64(i+1))
+}
+
+// Options selects the speedups and the simulation regime.
+type Options struct {
+	// UseCache enables tree caching.
+	UseCache bool
+	// UseShortCircuit enables evaluation short-circuiting.
+	UseShortCircuit bool
+	// Threshold is Algorithm 1's eagerness knob: intermediate fitness is
+	// compared against bestPrevFull×Threshold. Zero means 1.0.
+	Threshold float64
+	// MinFrac is the fraction of fitness cases that must be simulated
+	// before short-circuiting may trigger: the running RMSE over the
+	// first few days is dominated by the spin-up transient and is a
+	// noisy estimate of the final fitness. Zero means 0.1.
+	MinFrac float64
+	// Extrap is Algorithm 1's EXTRAPOLATE; nil means RunningRMSE.
+	Extrap Extrapolate
+	// UseCompile selects bytecode compilation over tree interpretation.
+	UseCompile bool
+	// Simplify applies algebraic simplification before evaluation (and
+	// before cache lookup, raising the hit rate).
+	Simplify bool
+	// Sim is the integration configuration; Phy0/Zoo0 should be the
+	// observed initial biomasses of the evaluation period.
+	Sim bio.SimConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 1.0
+	}
+	if o.MinFrac == 0 {
+		o.MinFrac = 0.1
+	}
+	if o.Extrap == nil {
+		o.Extrap = RunningRMSE
+	}
+	return o
+}
+
+// AllSpeedups returns Options with caching, short-circuiting (threshold
+// 1.0), compilation, and simplification all enabled.
+func AllSpeedups(sim bio.SimConfig) Options {
+	return Options{UseCache: true, UseShortCircuit: true, UseCompile: true, Simplify: true, Sim: sim}
+}
+
+// Stats counts evaluator work for the Fig 10/11 analyses.
+type Stats struct {
+	Evaluations    int // Evaluate calls
+	FullEvals      int // evaluations that ran every fitness case
+	ShortCircuits  int // evaluations stopped early
+	CacheHits      int
+	StepsEvaluated int // total fitness cases actually simulated
+	StepsPossible  int // fitness cases that full evaluation would cost
+}
+
+// Add accumulates another stats snapshot (e.g. across per-run evaluators).
+func (s *Stats) Add(o Stats) {
+	s.Evaluations += o.Evaluations
+	s.FullEvals += o.FullEvals
+	s.ShortCircuits += o.ShortCircuits
+	s.CacheHits += o.CacheHits
+	s.StepsEvaluated += o.StepsEvaluated
+	s.StepsPossible += o.StepsPossible
+}
+
+// Evaluator scores gp.Individuals by simulating their revised process over
+// the training window and measuring RMSE against observations. It is safe
+// for concurrent Evaluate calls between BeginBatch and EndBatch.
+type Evaluator struct {
+	forcing [][]float64
+	obs     []float64
+	consts  []bio.Constant
+	opts    Options
+
+	mu           sync.Mutex
+	cache        map[string]cacheEntry
+	bestPrevFull float64 // committed reference (updated at batch ends)
+	frozenBest   float64 // reference used during the current batch
+	pendingBest  float64 // best full fitness seen in the current batch
+	stats        Stats
+}
+
+type cacheEntry struct {
+	fitness float64
+	full    bool
+}
+
+// New builds an evaluator over the training window. forcing rows use the
+// bio variable layout; obs is the observed phytoplankton biomass.
+func New(forcing [][]float64, obs []float64, consts []bio.Constant, opts Options) *Evaluator {
+	o := opts.withDefaults()
+	return &Evaluator{
+		forcing:      forcing,
+		obs:          obs,
+		consts:       consts,
+		opts:         o,
+		cache:        map[string]cacheEntry{},
+		bestPrevFull: math.Inf(1),
+		frozenBest:   math.Inf(1),
+		pendingBest:  math.Inf(1),
+	}
+}
+
+// BeginBatch freezes the short-circuiting reference for a deterministic
+// parallel batch.
+func (e *Evaluator) BeginBatch() {
+	e.mu.Lock()
+	e.frozenBest = e.bestPrevFull
+	e.pendingBest = math.Inf(1)
+	e.mu.Unlock()
+}
+
+// EndBatch commits the best fully evaluated fitness seen during the batch.
+func (e *Evaluator) EndBatch() {
+	e.mu.Lock()
+	if e.pendingBest < e.bestPrevFull {
+		e.bestPrevFull = e.pendingBest
+	}
+	e.frozenBest = e.bestPrevFull
+	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of the work counters.
+func (e *Evaluator) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the work counters (the cache is kept).
+func (e *Evaluator) ResetStats() {
+	e.mu.Lock()
+	e.stats = Stats{}
+	e.mu.Unlock()
+}
+
+// Evaluate derives the individual's process, applies the configured
+// speedups, and stores the resulting fitness on the individual.
+func (e *Evaluator) Evaluate(ind *gp.Individual) {
+	fitness, full := e.evaluate(ind)
+	ind.Fitness = fitness
+	ind.Evaluated = true
+	ind.FullEval = full
+}
+
+func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
+	e.mu.Lock()
+	e.stats.Evaluations++
+	e.stats.StepsPossible += len(e.obs)
+	e.mu.Unlock()
+
+	phy, zoo, err := e.deriveSystem(ind)
+	if err != nil {
+		return math.Inf(1), true
+	}
+
+	var key string
+	if e.opts.UseCache {
+		key = cacheKey(phy, zoo, ind.Params)
+		e.mu.Lock()
+		if ent, ok := e.cache[key]; ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return ent.fitness, ent.full
+		}
+		e.mu.Unlock()
+	}
+
+	sys, err := e.buildSystem(phy, zoo)
+	if err != nil {
+		return math.Inf(1), true
+	}
+	fitness, full, steps := e.simulate(sys, ind.Params)
+
+	e.mu.Lock()
+	e.stats.StepsEvaluated += steps
+	if full {
+		e.stats.FullEvals++
+		if fitness < e.pendingBest {
+			e.pendingBest = fitness
+		}
+	} else {
+		e.stats.ShortCircuits++
+	}
+	if e.opts.UseCache {
+		e.cache[key] = cacheEntry{fitness, full}
+	}
+	e.mu.Unlock()
+	return fitness, full
+}
+
+// deriveSystem turns the derivation tree into bound (and optionally
+// simplified) derivative expressions.
+func (e *Evaluator) deriveSystem(ind *gp.Individual) (phy, zoo *expr.Node, err error) {
+	derived, err := ind.Deriv.Derive()
+	if err != nil {
+		return nil, nil, err
+	}
+	phy, zoo, err = grammar.SplitSystem(derived)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.opts.Simplify {
+		phy = expr.Simplify(phy)
+		zoo = expr.Simplify(zoo)
+	}
+	if err := grammar.BindSystem(phy, zoo, e.consts); err != nil {
+		return nil, nil, err
+	}
+	return phy, zoo, nil
+}
+
+func (e *Evaluator) buildSystem(phy, zoo *expr.Node) (*bio.System, error) {
+	if e.opts.UseCompile {
+		return bio.NewCompiledSystem(phy, zoo)
+	}
+	return bio.NewTreeSystem(phy, zoo), nil
+}
+
+// simulate runs the forward simulation, accumulating the running RMSE and
+// applying Algorithm 1 when short-circuiting is enabled. It returns the
+// fitness (final RMSE, or the extrapolated surrogate when short-circuited),
+// whether the evaluation was full, and the number of fitness cases
+// simulated.
+func (e *Evaluator) simulate(sys *bio.System, params []float64) (float64, bool, int) {
+	n := len(e.obs)
+	threshold := e.opts.Threshold
+	best := math.Inf(1)
+	if e.opts.UseShortCircuit {
+		e.mu.Lock()
+		best = e.frozenBest
+		e.mu.Unlock()
+	}
+	var sse float64
+	steps := 0
+	shortFitness := math.NaN()
+	sc := false
+	minSteps := int(e.opts.MinFrac * float64(n))
+	e.runSim(sys, params, func(t int, bphy float64) bool {
+		if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
+			sse = math.Inf(1)
+			steps = t + 1
+			return false
+		}
+		d := bphy - e.obs[t]
+		sse += d * d
+		steps = t + 1
+		if !e.opts.UseShortCircuit || math.IsInf(best, 1) || t+1 < minSteps {
+			return true
+		}
+		fitness := math.Sqrt(sse / float64(t+1))
+		if fitness > best*threshold {
+			est := e.opts.Extrap(fitness, t, n)
+			if est > best {
+				shortFitness = est
+				sc = true
+				return false // short circuit
+			}
+		}
+		return true
+	})
+	if sc {
+		return shortFitness, false, steps
+	}
+	if math.IsInf(sse, 1) || steps == 0 {
+		return math.Inf(1), true, steps
+	}
+	if steps < n {
+		// The simulator aborted early (non-finite state): treat as a
+		// full evaluation of an invalid model.
+		return math.Inf(1), true, steps
+	}
+	return math.Sqrt(sse / float64(n)), true, steps
+}
+
+func (e *Evaluator) runSim(sys *bio.System, params []float64, perStep func(int, float64) bool) {
+	sys.Run(e.forcing, params, e.opts.Sim, perStep)
+}
+
+// cacheKey renders the simplified process and its parameters canonically.
+// Parameter values are part of the key because fitness depends on them.
+func cacheKey(phy, zoo *expr.Node, params []float64) string {
+	var b strings.Builder
+	b.WriteString(phy.String())
+	b.WriteByte('|')
+	b.WriteString(zoo.String())
+	b.WriteByte('|')
+	for _, p := range params {
+		b.WriteString(strconv.FormatFloat(p, 'g', 17, 64))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// PredictIndividual simulates an individual's revised process over an
+// arbitrary forcing window (e.g. the test period) and returns the
+// prediction series. It shares no state with the evaluator's cache.
+func PredictIndividual(ind *gp.Individual, consts []bio.Constant, forcing [][]float64, sim bio.SimConfig) ([]float64, error) {
+	derived, err := ind.Deriv.Derive()
+	if err != nil {
+		return nil, err
+	}
+	phy, zoo, err := grammar.SplitSystem(derived)
+	if err != nil {
+		return nil, err
+	}
+	phy, zoo = expr.Simplify(phy), expr.Simplify(zoo)
+	if err := grammar.BindSystem(phy, zoo, consts); err != nil {
+		return nil, err
+	}
+	sys, err := bio.NewCompiledSystem(phy, zoo)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Predict(forcing, ind.Params, sim), nil
+}
+
+// ModelExprs returns the simplified, human-readable derivative expressions
+// of an individual.
+func ModelExprs(ind *gp.Individual) (phy, zoo *expr.Node, err error) {
+	derived, err := ind.Deriv.Derive()
+	if err != nil {
+		return nil, nil, err
+	}
+	phy, zoo, err = grammar.SplitSystem(derived)
+	if err != nil {
+		return nil, nil, err
+	}
+	return expr.Simplify(phy), expr.Simplify(zoo), nil
+}
+
+var _ gp.Evaluator = (*Evaluator)(nil)

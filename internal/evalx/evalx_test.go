@@ -1,0 +1,367 @@
+package evalx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gmr/internal/bio"
+	"gmr/internal/dataset"
+	"gmr/internal/expr"
+	"gmr/internal/gp"
+	"gmr/internal/grammar"
+	"gmr/internal/tag"
+)
+
+// smallData builds a short synthetic window for cheap evaluation tests.
+func smallData(t *testing.T) (forcing [][]float64, obs []float64, consts []bio.Constant) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{Seed: 3, StartYear: 2000, EndYear: 2001, TrainEndYear: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.TrainForcing(), ds.TrainObsPhy(), bio.DefaultConstants()
+}
+
+func simCfg(obs []float64) bio.SimConfig {
+	return bio.SimConfig{SubSteps: 2, Phy0: obs[0], Zoo0: 1.5}
+}
+
+func manualInd(t *testing.T) (*gp.Individual, *tag.Grammar) {
+	t.Helper()
+	g, err := grammar.River(grammar.DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := &tag.DerivNode{Elem: g.Alphas[0]}
+	return gp.NewIndividual(root, bio.Means(bio.DefaultConstants())), g
+}
+
+func randomInd(t *testing.T, g *tag.Grammar, seed int64) *gp.Individual {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d, err := g.RandomDeriv(rng, 2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gp.NewIndividual(d, bio.Means(bio.DefaultConstants()))
+}
+
+func TestEvaluateSetsFitness(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	ev := New(forcing, obs, consts, Options{Sim: simCfg(obs)})
+	ind, _ := manualInd(t)
+	ev.BeginBatch()
+	ev.Evaluate(ind)
+	ev.EndBatch()
+	if !ind.Evaluated || !ind.FullEval {
+		t.Fatal("manual individual not fully evaluated")
+	}
+	if math.IsNaN(ind.Fitness) {
+		t.Fatal("fitness is NaN")
+	}
+	if ind.Fitness <= 0 {
+		t.Fatalf("fitness %v, want positive RMSE", ind.Fitness)
+	}
+}
+
+// TestSpeedupsPreserveFitness: for fully evaluated individuals, every
+// speedup combination must give the same fitness as the plain evaluator.
+func TestSpeedupsPreserveFitness(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	_, g := manualInd(t)
+	inds := make([]*gp.Individual, 12)
+	for i := range inds {
+		inds[i] = randomInd(t, g, int64(i))
+	}
+	plain := New(forcing, obs, consts, Options{Sim: simCfg(obs)})
+	ref := make([]float64, len(inds))
+	plain.BeginBatch()
+	for i, ind := range inds {
+		c := ind.Clone()
+		plain.Evaluate(c)
+		ref[i] = c.Fitness
+	}
+	plain.EndBatch()
+
+	combos := []Options{
+		{UseCache: true},
+		{UseCompile: true},
+		{Simplify: true},
+		{UseCache: true, UseCompile: true, Simplify: true},
+	}
+	for ci, opt := range combos {
+		opt.Sim = simCfg(obs)
+		ev := New(forcing, obs, consts, opt)
+		ev.BeginBatch()
+		for i, ind := range inds {
+			c := ind.Clone()
+			ev.Evaluate(c)
+			if c.Fitness != ref[i] && !(math.IsInf(c.Fitness, 1) && math.IsInf(ref[i], 1)) {
+				// Simplification may alter floating-point association;
+				// allow tiny relative drift only when Simplify is on.
+				relOK := opt.Simplify && math.Abs(c.Fitness-ref[i]) < 1e-6*(1+math.Abs(ref[i]))
+				if !relOK {
+					t.Errorf("combo %d individual %d: fitness %v != reference %v", ci, i, c.Fitness, ref[i])
+				}
+			}
+		}
+		ev.EndBatch()
+	}
+}
+
+func TestCacheHitsOnRepeatEvaluation(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	ev := New(forcing, obs, consts, Options{UseCache: true, Sim: simCfg(obs)})
+	ind, _ := manualInd(t)
+	ev.BeginBatch()
+	a := ind.Clone()
+	ev.Evaluate(a)
+	b := ind.Clone()
+	ev.Evaluate(b)
+	ev.EndBatch()
+	st := ev.Stats()
+	if st.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.CacheHits)
+	}
+	if a.Fitness != b.Fitness {
+		t.Errorf("cached fitness differs: %v vs %v", a.Fitness, b.Fitness)
+	}
+	// Different parameters must not hit the cache.
+	c := ind.Clone()
+	c.Params[0] *= 1.01
+	ev.BeginBatch()
+	ev.Evaluate(c)
+	ev.EndBatch()
+	if ev.Stats().CacheHits != 1 {
+		t.Error("cache hit despite different parameters")
+	}
+}
+
+func TestSimplifyRaisesCacheHitRate(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	_, g := manualInd(t)
+	// Two individuals whose derivations differ but whose simplified
+	// processes coincide: manual, and manual + connector adding R=0
+	// (simplifies away: x + 0 → x).
+	rng := rand.New(rand.NewSource(1))
+	plain := &tag.DerivNode{Elem: g.Alphas[0]}
+	withZero := plain.Clone()
+	conn := g.Betas["Ext1"][0]
+	child, err := g.NewNode(rng, conn, tag.Address{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Lexemes = child.Lexemes[:0]
+	for range conn.SubSiteSyms() {
+		child.Lexemes = append(child.Lexemes, expr.NewLit(0))
+	}
+	withZero.Children = append(withZero.Children, child)
+
+	params := bio.Means(consts)
+	ev := New(forcing, obs, consts, Options{UseCache: true, Simplify: true, Sim: simCfg(obs)})
+	ev.BeginBatch()
+	ev.Evaluate(gp.NewIndividual(plain, params))
+	ev.Evaluate(gp.NewIndividual(withZero, params))
+	ev.EndBatch()
+	if ev.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1 (simplification should collapse +0 revision)", ev.Stats().CacheHits)
+	}
+}
+
+func TestShortCircuitSavesStepsWithoutChangingBest(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	_, g := manualInd(t)
+	inds := make([]*gp.Individual, 30)
+	for i := range inds {
+		inds[i] = randomInd(t, g, int64(100+i))
+	}
+	run := func(opt Options) (best float64, steps int) {
+		opt.Sim = simCfg(obs)
+		ev := New(forcing, obs, consts, opt)
+		best = math.Inf(1)
+		// Sequential batches of 1 so ES can use prior results.
+		for _, ind := range inds {
+			c := ind.Clone()
+			ev.BeginBatch()
+			ev.Evaluate(c)
+			ev.EndBatch()
+			if c.FullEval && c.Fitness < best {
+				best = c.Fitness
+			}
+		}
+		return best, ev.Stats().StepsEvaluated
+	}
+	bestPlain, stepsPlain := run(Options{})
+	bestES, stepsES := run(Options{UseShortCircuit: true})
+	if stepsES >= stepsPlain {
+		t.Errorf("short-circuiting did not reduce steps: %d vs %d", stepsES, stepsPlain)
+	}
+	if bestES != bestPlain {
+		t.Errorf("short-circuiting changed the best full fitness: %v vs %v", bestES, bestPlain)
+	}
+}
+
+func TestShortCircuitThresholdEagerness(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	_, g := manualInd(t)
+	inds := make([]*gp.Individual, 40)
+	for i := range inds {
+		inds[i] = randomInd(t, g, int64(500+i))
+	}
+	steps := func(th float64) int {
+		ev := New(forcing, obs, consts, Options{UseShortCircuit: true, Threshold: th, Sim: simCfg(obs)})
+		for _, ind := range inds {
+			c := ind.Clone()
+			ev.BeginBatch()
+			ev.Evaluate(c)
+			ev.EndBatch()
+		}
+		return ev.Stats().StepsEvaluated
+	}
+	eager, normal, lax := steps(0.7), steps(1.0), steps(1.3)
+	if !(eager <= normal && normal <= lax) {
+		t.Errorf("steps not monotone in threshold: 0.7→%d 1.0→%d 1.3→%d", eager, normal, lax)
+	}
+	if eager == lax {
+		t.Error("threshold had no effect at all")
+	}
+}
+
+func TestBatchFreezeDeterminism(t *testing.T) {
+	// Within one batch, evaluation results must not depend on order:
+	// the ES reference is frozen at batch start.
+	forcing, obs, consts := smallData(t)
+	_, g := manualInd(t)
+	inds := make([]*gp.Individual, 10)
+	for i := range inds {
+		inds[i] = randomInd(t, g, int64(900+i))
+	}
+	eval := func(order []int) []float64 {
+		ev := New(forcing, obs, consts, Options{UseShortCircuit: true, Sim: simCfg(obs)})
+		// Prime the reference with one full evaluation.
+		ev.BeginBatch()
+		p := inds[0].Clone()
+		ev.Evaluate(p)
+		ev.EndBatch()
+		out := make([]float64, len(inds))
+		ev.BeginBatch()
+		for _, i := range order {
+			c := inds[i].Clone()
+			ev.Evaluate(c)
+			out[i] = c.Fitness
+		}
+		ev.EndBatch()
+		return out
+	}
+	fwd := eval([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	rev := eval([]int{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	for i := range fwd {
+		if fwd[i] != rev[i] {
+			t.Errorf("individual %d: order-dependent fitness %v vs %v", i, fwd[i], rev[i])
+		}
+	}
+}
+
+func TestExtrapolators(t *testing.T) {
+	if RunningRMSE(3.5, 10, 100) != 3.5 {
+		t.Error("RunningRMSE must be identity")
+	}
+	if p := Pessimistic(2.0, 24, 100); p != 4.0 {
+		t.Errorf("Pessimistic(2, 24, 100) = %v, want 4 (×sqrt(100/25))", p)
+	}
+	if p := Pessimistic(2.0, 99, 100); p != 2.0 {
+		t.Errorf("Pessimistic at the end = %v, want 2", p)
+	}
+}
+
+func TestPredictIndividualMatchesEvaluatorFitness(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	ind, _ := manualInd(t)
+	ev := New(forcing, obs, consts, Options{UseCompile: true, Simplify: true, Sim: simCfg(obs)})
+	ev.BeginBatch()
+	ev.Evaluate(ind)
+	ev.EndBatch()
+	preds, err := PredictIndividual(ind, consts, forcing, simCfg(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse float64
+	for i := range preds {
+		d := preds[i] - obs[i]
+		sse += d * d
+	}
+	rmse := math.Sqrt(sse / float64(len(preds)))
+	if math.Abs(rmse-ind.Fitness) > 1e-9*(1+ind.Fitness) {
+		t.Errorf("PredictIndividual RMSE %v != evaluator fitness %v", rmse, ind.Fitness)
+	}
+}
+
+func TestModelExprs(t *testing.T) {
+	ind, _ := manualInd(t)
+	phy, zoo, err := ModelExprs(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phy == nil || zoo == nil {
+		t.Fatal("nil expressions")
+	}
+	if !phy.Complete() || !zoo.Complete() {
+		t.Error("model expressions not completed trees")
+	}
+}
+
+func TestMinFracDelaysShortCircuit(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	_, g := manualInd(t)
+	inds := make([]*gp.Individual, 20)
+	for i := range inds {
+		inds[i] = randomInd(t, g, int64(700+i))
+	}
+	steps := func(minFrac float64) int {
+		ev := New(forcing, obs, consts, Options{
+			UseShortCircuit: true, MinFrac: minFrac, Sim: simCfg(obs),
+		})
+		for _, ind := range inds {
+			c := ind.Clone()
+			ev.BeginBatch()
+			ev.Evaluate(c)
+			ev.EndBatch()
+		}
+		return ev.Stats().StepsEvaluated
+	}
+	early := steps(0.02)
+	late := steps(0.5)
+	if early >= late {
+		t.Errorf("larger MinFrac should evaluate more steps: %d vs %d", early, late)
+	}
+	// Every short-circuited evaluation must have run at least MinFrac
+	// of the cases.
+	ev := New(forcing, obs, consts, Options{UseShortCircuit: true, MinFrac: 0.3, Sim: simCfg(obs)})
+	minSteps := int(0.3 * float64(len(obs)))
+	prim := inds[0].Clone()
+	ev.BeginBatch()
+	ev.Evaluate(prim)
+	ev.EndBatch()
+	for _, ind := range inds[1:] {
+		before := ev.Stats().StepsEvaluated
+		c := ind.Clone()
+		ev.BeginBatch()
+		ev.Evaluate(c)
+		ev.EndBatch()
+		ran := ev.Stats().StepsEvaluated - before
+		if ran > 0 && ran < minSteps {
+			t.Fatalf("evaluation stopped after %d steps, below MinFrac %d", ran, minSteps)
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Evaluations: 1, FullEvals: 2, ShortCircuits: 3, CacheHits: 4, StepsEvaluated: 5, StepsPossible: 6}
+	b := a
+	a.Add(b)
+	if a.Evaluations != 2 || a.FullEvals != 4 || a.ShortCircuits != 6 ||
+		a.CacheHits != 8 || a.StepsEvaluated != 10 || a.StepsPossible != 12 {
+		t.Errorf("Stats.Add wrong: %+v", a)
+	}
+}

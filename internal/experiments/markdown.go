@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteTableVMarkdown renders Table V rows as a GitHub-flavored markdown
+// table, ready for EXPERIMENTS.md.
+func WriteTableVMarkdown(w io.Writer, rows []TableVRow) error {
+	if _, err := fmt.Fprintln(w, "| Class | Method | Train RMSE | Train MAE | Test RMSE | Test MAE |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %.4g | %.4g | %.4g | %.4g |\n",
+			r.Class, r.Method, r.TrainRMSE, r.TrainMAE, r.TestRMSE, r.TestMAE); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig10Markdown renders Figure 10 rows as markdown.
+func WriteFig10Markdown(w io.Writer, rows []Fig10Row) error {
+	if _, err := fmt.Fprintln(w, "| Speedups | Mean/individual | Speedup |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %v | %.1f× |\n",
+			r.Combo, r.MeanPerIndividual.Round(10*time.Microsecond), r.Speedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig11Markdown renders Figure 11 rows as markdown with values
+// relative to the ES TH-1.0 reference, matching the paper's presentation.
+func WriteFig11Markdown(w io.Writer, rows []Fig11Row) error {
+	var ref Fig11Row
+	for _, r := range rows {
+		if r.Label == "ES TH-1.0" {
+			ref = r
+		}
+	}
+	if _, err := fmt.Fprintln(w, "| Setting | Evaluated steps (rel) | Train RMSE (rel) | Test RMSE (rel) | % fully evaluated among best |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	rel := func(v, base float64) string {
+		if base == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", v/base)
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %d (%s) | %.3f (%s) | %.3f (%s) | %.0f%% |\n",
+			r.Label,
+			r.StepsEvaluated, rel(float64(r.StepsEvaluated), float64(ref.StepsEvaluated)),
+			r.TrainRMSE, rel(r.TrainRMSE, ref.TrainRMSE),
+			r.TestRMSE, rel(r.TestRMSE, ref.TestRMSE),
+			100*r.FullyEvalAmongBest); err != nil {
+			return err
+		}
+	}
+	return nil
+}

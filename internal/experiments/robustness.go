@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gmr/internal/dataset"
+	"gmr/internal/stats"
+)
+
+// RobustnessRow aggregates a method's test RMSE across independently
+// generated datasets (different synthetic "rivers"), reporting mean and
+// standard deviation — the variance view the paper's single-table results
+// do not show.
+type RobustnessRow struct {
+	Method  string
+	Mean    float64
+	StdDev  float64
+	PerSeed []float64
+}
+
+// Robustness reruns a subset of Table V methods over several dataset seeds
+// and aggregates test RMSE. Methods defaults to {MANUAL, SA, GGGP, GMR}
+// when nil — one representative per class.
+func Robustness(sc Scale, seeds []int64, methods []string) ([]RobustnessRow, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no dataset seeds")
+	}
+	if methods == nil {
+		methods = []string{"MANUAL", "SA", "GGGP", "GMR"}
+	}
+	filter := map[string]bool{}
+	for _, m := range methods {
+		filter[m] = true
+	}
+	acc := map[string][]float64{}
+	for _, seed := range seeds {
+		ds, err := dataset.Generate(dataset.Config{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		rows, err := TableV(ds, sc, seed, filter)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			acc[r.Method] = append(acc[r.Method], r.TestRMSE)
+		}
+	}
+	var out []RobustnessRow
+	for _, m := range methods {
+		vals := acc[m]
+		if len(vals) == 0 {
+			continue
+		}
+		out = append(out, RobustnessRow{
+			Method:  m,
+			Mean:    stats.Mean(vals),
+			StdDev:  stats.StdDev(vals),
+			PerSeed: vals,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements "runtime compilation" for expression trees: a tree is
+// flattened once into a postfix bytecode program executed on a small value
+// stack, with variable and parameter indices pre-resolved. The paper's
+// system emits C++ and dlopens it; compiling to bytecode is the portable
+// stdlib-only equivalent that removes the same per-evaluation tree-walking
+// overhead (see DESIGN.md §3).
+
+type opcode uint8
+
+const (
+	opPushLit opcode = iota
+	opPushVar
+	opPushParam
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opNeg
+	opLog
+	opExp
+	opMin // operand = arity
+	opMax // operand = arity
+)
+
+type instr struct {
+	code opcode
+	arg  int     // var/param index, or n-ary arity
+	val  float64 // literal value
+}
+
+// Program is a compiled expression. A Program is immutable and safe for
+// concurrent use; each call to Eval uses its own stack.
+type Program struct {
+	code     []instr
+	maxStack int
+	source   string
+}
+
+// Compile flattens a completed, bound tree into a Program. It returns an
+// error if the tree contains substitution sites, foot nodes, or unbound
+// names.
+func Compile(n *Node) (*Program, error) {
+	p := &Program{source: n.String()}
+	depth, err := emit(n, &p.code, 0, &p.maxStack)
+	if err != nil {
+		return nil, err
+	}
+	if depth != 1 {
+		return nil, fmt.Errorf("expr: compile finished with stack depth %d", depth)
+	}
+	return p, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(n *Node) *Program {
+	p, err := Compile(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func emit(n *Node, code *[]instr, depth int, maxDepth *int) (int, error) {
+	bump := func(d int) int {
+		if d > *maxDepth {
+			*maxDepth = d
+		}
+		return d
+	}
+	switch n.Kind {
+	case Lit:
+		*code = append(*code, instr{code: opPushLit, val: n.Val})
+		return bump(depth + 1), nil
+	case Var:
+		if n.Index < 0 {
+			return 0, fmt.Errorf("expr: compile: unbound var %q", n.Name)
+		}
+		*code = append(*code, instr{code: opPushVar, arg: n.Index})
+		return bump(depth + 1), nil
+	case Param:
+		if n.Index < 0 {
+			return 0, fmt.Errorf("expr: compile: unbound param %q", n.Name)
+		}
+		*code = append(*code, instr{code: opPushParam, arg: n.Index})
+		return bump(depth + 1), nil
+	case Unary:
+		d, err := emit(n.Kids[0], code, depth, maxDepth)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case OpNeg:
+			*code = append(*code, instr{code: opNeg})
+		case OpLog:
+			*code = append(*code, instr{code: opLog})
+		case OpExp:
+			*code = append(*code, instr{code: opExp})
+		default:
+			return 0, fmt.Errorf("expr: compile: bad unary op %s", n.Op)
+		}
+		return d, nil
+	case Binary:
+		d1, err := emit(n.Kids[0], code, depth, maxDepth)
+		if err != nil {
+			return 0, err
+		}
+		_, err = emit(n.Kids[1], code, d1, maxDepth)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case OpAdd:
+			*code = append(*code, instr{code: opAdd})
+		case OpSub:
+			*code = append(*code, instr{code: opSub})
+		case OpMul:
+			*code = append(*code, instr{code: opMul})
+		case OpDiv:
+			*code = append(*code, instr{code: opDiv})
+		default:
+			return 0, fmt.Errorf("expr: compile: bad binary op %s", n.Op)
+		}
+		return d1, nil
+	case Nary:
+		d := depth
+		var err error
+		for _, k := range n.Kids {
+			d, err = emit(k, code, d, maxDepth)
+			if err != nil {
+				return 0, err
+			}
+		}
+		oc := opMin
+		if n.Op == OpMax {
+			oc = opMax
+		} else if n.Op != OpMin {
+			return 0, fmt.Errorf("expr: compile: bad n-ary op %s", n.Op)
+		}
+		*code = append(*code, instr{code: oc, arg: len(n.Kids)})
+		return depth + 1, nil
+	case SubSite:
+		return 0, fmt.Errorf("expr: compile: open substitution site %q", n.Sym)
+	case Foot:
+		return 0, fmt.Errorf("expr: compile: foot node %q", n.Sym)
+	}
+	return 0, fmt.Errorf("expr: compile: unknown node kind %d", n.Kind)
+}
+
+// Len returns the number of instructions in the program.
+func (p *Program) Len() int { return len(p.code) }
+
+// Source returns the canonical string of the tree the program was compiled
+// from.
+func (p *Program) Source() string { return p.source }
+
+// Eval executes the program against the given variable and parameter
+// vectors, allocating a fresh stack. For hot loops use EvalStack with a
+// reused buffer.
+func (p *Program) Eval(vars, params []float64) float64 {
+	stack := make([]float64, 0, p.maxStack)
+	return p.EvalStack(vars, params, stack)
+}
+
+// EvalStack executes the program using the provided stack buffer (its
+// contents are ignored; its capacity is reused). The buffer must not be
+// shared across concurrent calls.
+func (p *Program) EvalStack(vars, params, stack []float64) float64 {
+	s := stack[:0]
+	for i := range p.code {
+		in := &p.code[i]
+		switch in.code {
+		case opPushLit:
+			s = append(s, in.val)
+		case opPushVar:
+			s = append(s, vars[in.arg])
+		case opPushParam:
+			s = append(s, params[in.arg])
+		case opAdd:
+			s[len(s)-2] += s[len(s)-1]
+			s = s[:len(s)-1]
+		case opSub:
+			s[len(s)-2] -= s[len(s)-1]
+			s = s[:len(s)-1]
+		case opMul:
+			s[len(s)-2] *= s[len(s)-1]
+			s = s[:len(s)-1]
+		case opDiv:
+			s[len(s)-2] = SafeDiv(s[len(s)-2], s[len(s)-1])
+			s = s[:len(s)-1]
+		case opNeg:
+			s[len(s)-1] = -s[len(s)-1]
+		case opLog:
+			s[len(s)-1] = SafeLog(s[len(s)-1])
+		case opExp:
+			s[len(s)-1] = SafeExp(s[len(s)-1])
+		case opMin:
+			n := in.arg
+			best := s[len(s)-n]
+			for _, v := range s[len(s)-n+1:] {
+				best = math.Min(best, v)
+			}
+			s = s[:len(s)-n]
+			s = append(s, best)
+		case opMax:
+			n := in.arg
+			best := s[len(s)-n]
+			for _, v := range s[len(s)-n+1:] {
+				best = math.Max(best, v)
+			}
+			s = s[:len(s)-n]
+			s = append(s, best)
+		}
+	}
+	return s[0]
+}
+
+// StackSize returns the stack capacity needed by EvalStack.
+func (p *Program) StackSize() int { return p.maxStack }

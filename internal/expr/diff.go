@@ -1,0 +1,93 @@
+package expr
+
+import "fmt"
+
+// Diff returns the symbolic partial derivative of the tree with respect to
+// the named parameter or variable (matched against Param and Var nodes).
+// The result is simplified. Min/max nodes are not differentiable and cause
+// an error; the guarded operators differentiate as their ideal forms
+// (d/dx log x = 1/x, with the evaluation-time guards supplying safety).
+//
+// Diff powers the parameter-sensitivity analysis: ∂(dB/dt)/∂C quantifies
+// how strongly each Table III constant drives the process at given
+// conditions, complementing the perturbation analysis of Figure 9.
+func Diff(n *Node, name string) (*Node, error) {
+	d, err := diff(n, name)
+	if err != nil {
+		return nil, err
+	}
+	return Simplify(d), nil
+}
+
+func diff(n *Node, name string) (*Node, error) {
+	switch n.Kind {
+	case Lit:
+		return NewLit(0), nil
+	case Param, Var:
+		if n.Name == name {
+			return NewLit(1), nil
+		}
+		return NewLit(0), nil
+	case Unary:
+		k := n.Kids[0]
+		dk, err := diff(k, name)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case OpNeg:
+			return Neg(dk), nil
+		case OpLog:
+			// d log(u) = u'/u.
+			return Div(dk, k.Clone()), nil
+		case OpExp:
+			// d exp(u) = exp(u)·u'.
+			return Mul(Exp(k.Clone()), dk), nil
+		}
+		return nil, fmt.Errorf("expr: cannot differentiate unary %s", n.Op)
+	case Binary:
+		a, b := n.Kids[0], n.Kids[1]
+		da, err := diff(a, name)
+		if err != nil {
+			return nil, err
+		}
+		db, err := diff(b, name)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case OpAdd:
+			return Add(da, db), nil
+		case OpSub:
+			return Sub(da, db), nil
+		case OpMul:
+			return Add(Mul(da, b.Clone()), Mul(a.Clone(), db)), nil
+		case OpDiv:
+			// (a/b)' = (a'b − ab')/b².
+			num := Sub(Mul(da, b.Clone()), Mul(a.Clone(), db))
+			den := Mul(b.Clone(), b.Clone())
+			return Div(num, den), nil
+		}
+		return nil, fmt.Errorf("expr: cannot differentiate binary %s", n.Op)
+	case Nary:
+		return nil, fmt.Errorf("expr: %s is not differentiable", n.Op)
+	case SubSite, Foot:
+		return nil, fmt.Errorf("expr: cannot differentiate incomplete tree")
+	}
+	return nil, fmt.Errorf("expr: unknown node kind %d", n.Kind)
+}
+
+// Gradient returns the symbolic partials of the tree with respect to every
+// distinct parameter appearing in it, in first-appearance order. Subtrees
+// under min/max are skipped with an error.
+func Gradient(n *Node) (names []string, partials []*Node, err error) {
+	for _, p := range n.Params() {
+		d, err := Diff(n, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, p)
+		partials = append(partials, d)
+	}
+	return names, partials, nil
+}

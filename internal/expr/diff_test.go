@@ -1,0 +1,127 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDiffBasicRules(t *testing.T) {
+	cases := []struct {
+		src  string
+		wrt  string
+		at   map[string]float64
+		want float64
+	}{
+		{"x * x", "x", map[string]float64{"x": 3}, 6},
+		{"x + y", "x", map[string]float64{"x": 1, "y": 2}, 1},
+		{"x + y", "y", map[string]float64{"x": 1, "y": 2}, 1},
+		{"x * y", "x", map[string]float64{"x": 5, "y": 7}, 7},
+		{"x / y", "y", map[string]float64{"x": 6, "y": 2}, -1.5},
+		{"exp(x)", "x", map[string]float64{"x": 1}, math.E},
+		{"log(x)", "x", map[string]float64{"x": 4}, 0.25},
+		{"-x", "x", map[string]float64{"x": 9}, -1},
+		{"2 * x + 3", "x", map[string]float64{"x": 0}, 2},
+		{"Ck * x", "Ck", map[string]float64{"x": 11}, 11},
+	}
+	for _, c := range cases {
+		n := MustParse(c.src)
+		d, err := Diff(n, c.wrt)
+		if err != nil {
+			t.Fatalf("Diff(%s, %s): %v", c.src, c.wrt, err)
+		}
+		env := &Env{VarByName: c.at, ParamByName: map[string]float64{"Ck": 1}}
+		got, err := d.Eval(env)
+		if err != nil {
+			t.Fatalf("eval d(%s)/d%s = %s: %v", c.src, c.wrt, d, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("d(%s)/d%s at %v = %v (%s), want %v", c.src, c.wrt, c.at, got, d, c.want)
+		}
+	}
+}
+
+// Property: the symbolic derivative matches central finite differences on
+// random min/max-free trees.
+func TestDiffMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var gen func(depth int) *Node
+	gen = func(depth int) *Node {
+		if depth <= 0 || rng.Float64() < 0.3 {
+			if rng.Float64() < 0.4 {
+				return NewLit(1 + rng.Float64()*3)
+			}
+			return NewVar("x")
+		}
+		switch rng.Intn(6) {
+		case 0:
+			return Add(gen(depth-1), gen(depth-1))
+		case 1:
+			return Sub(gen(depth-1), gen(depth-1))
+		case 2:
+			return Mul(gen(depth-1), gen(depth-1))
+		case 3:
+			// Keep denominators positive to stay away from guard kinks.
+			return Div(gen(depth-1), Add(Mul(gen(depth-1), gen(depth-1)), NewLit(2)))
+		case 4:
+			return Neg(gen(depth - 1))
+		default:
+			return Log(Add(Mul(gen(depth-1), gen(depth-1)), NewLit(2)))
+		}
+	}
+	for i := 0; i < 200; i++ {
+		n := gen(4)
+		d, err := Diff(n, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			x := 0.5 + rng.Float64()*2
+			const h = 1e-6
+			at := func(v float64) float64 {
+				val, err := n.Eval(&Env{VarByName: map[string]float64{"x": v}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return val
+			}
+			num := (at(x+h) - at(x-h)) / (2 * h)
+			sym, err := d.Eval(&Env{VarByName: map[string]float64{"x": x}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(num-sym) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("tree %d at x=%v: numerical %v vs symbolic %v\nf = %s\nf' = %s",
+					i, x, num, sym, n, d)
+			}
+		}
+	}
+}
+
+func TestDiffRejectsMinMax(t *testing.T) {
+	n := Min(NewVar("x"), NewLit(1))
+	if _, err := Diff(n, "x"); err == nil {
+		t.Error("min differentiated")
+	}
+	if _, err := Diff(NewSubSite("R"), "x"); err == nil {
+		t.Error("substitution site differentiated")
+	}
+}
+
+func TestGradient(t *testing.T) {
+	n := MustParse("Ca * x + Cb * x * x")
+	names, parts, err := Gradient(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "Ca" || names[1] != "Cb" {
+		t.Fatalf("gradient names = %v", names)
+	}
+	env := &Env{VarByName: map[string]float64{"x": 3}, ParamByName: map[string]float64{"Ca": 1, "Cb": 1}}
+	if v := parts[0].MustEval(env); v != 3 {
+		t.Errorf("∂/∂Ca = %v, want 3", v)
+	}
+	if v := parts[1].MustEval(env); v != 9 {
+		t.Errorf("∂/∂Cb = %v, want 9", v)
+	}
+}

@@ -1,0 +1,242 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads the canonical/pretty expression syntax back into a tree.
+// Grammar (precedence climbing):
+//
+//	expr    = term (('+'|'-') term)*
+//	term    = factor (('*'|'/') factor)*
+//	factor  = '-' factor | primary
+//	primary = number | ident | func '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Identifiers beginning with 'C' parse as Param nodes, everything else as
+// Var nodes — matching the paper's naming convention (constants start with
+// C, temporal variables with V, plus the state variables BPhy and BZoo,
+// which are Vars).
+func Parse(src string) (*Node, error) {
+	p := &parser{src: src}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("expr: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return n, nil
+}
+
+// MustParse parses src and panics on error; for tests and static process
+// definitions.
+func MustParse(src string) *Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseExpr() (*Node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c != '+' && c != '-' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if c == '+' {
+			left = Add(left, right)
+		} else {
+			left = Sub(left, right)
+		}
+	}
+}
+
+func (p *parser) parseTerm() (*Node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c != '*' && c != '/' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if c == '*' {
+			left = Mul(left, right)
+		} else {
+			left = Div(left, right)
+		}
+	}
+}
+
+func (p *parser) parseFactor() (*Node, error) {
+	p.skipSpace()
+	if p.peek() == '-' {
+		p.pos++
+		k, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if k.Kind == Lit {
+			return NewLit(-k.Val), nil
+		}
+		return Neg(k), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*Node, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("expr: expected ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return n, nil
+	case c >= '0' && c <= '9' || c == '.':
+		return p.parseNumber()
+	case unicode.IsLetter(rune(c)) || c == '_':
+		return p.parseIdentOrCall()
+	case c == 0:
+		return nil, fmt.Errorf("expr: unexpected end of input")
+	default:
+		return nil, fmt.Errorf("expr: unexpected character %q at offset %d", c, p.pos)
+	}
+}
+
+func (p *parser) parseNumber() (*Node, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		// Exponent sign.
+		if (c == '+' || c == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, fmt.Errorf("expr: bad number %q: %v", p.src[start:p.pos], err)
+	}
+	return NewLit(v), nil
+}
+
+func (p *parser) parseIdentOrCall() (*Node, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	name := p.src[start:p.pos]
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		var args []*Node
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("expr: expected ')' after %s() args at offset %d", name, p.pos)
+		}
+		p.pos++
+		switch strings.ToLower(name) {
+		case "log":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("expr: log takes 1 argument, got %d", len(args))
+			}
+			return Log(args[0]), nil
+		case "exp":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("expr: exp takes 1 argument, got %d", len(args))
+			}
+			return Exp(args[0]), nil
+		case "neg":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("expr: neg takes 1 argument, got %d", len(args))
+			}
+			return Neg(args[0]), nil
+		case "min":
+			if len(args) < 2 {
+				return nil, fmt.Errorf("expr: min takes >=2 arguments, got %d", len(args))
+			}
+			return Min(args...), nil
+		case "max":
+			if len(args) < 2 {
+				return nil, fmt.Errorf("expr: max takes >=2 arguments, got %d", len(args))
+			}
+			return Max(args...), nil
+		default:
+			return nil, fmt.Errorf("expr: unknown function %q", name)
+		}
+	}
+	if strings.HasPrefix(name, "C") {
+		return NewParam(name), nil
+	}
+	return NewVar(name), nil
+}

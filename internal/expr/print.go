@@ -1,0 +1,95 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String returns the canonical fully-parenthesized rendering of the tree.
+// Canonical strings are used as tree-cache keys (after simplification), so
+// the rendering is deterministic and includes literal values at full
+// precision.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	switch n.Kind {
+	case Lit:
+		b.WriteString(strconv.FormatFloat(n.Val, 'g', 17, 64))
+	case Param, Var:
+		b.WriteString(n.Name)
+	case Unary:
+		switch n.Op {
+		case OpNeg:
+			b.WriteString("(-")
+			n.Kids[0].write(b)
+			b.WriteByte(')')
+		default:
+			b.WriteString(n.Op.String())
+			b.WriteByte('(')
+			n.Kids[0].write(b)
+			b.WriteByte(')')
+		}
+	case Binary:
+		b.WriteByte('(')
+		n.Kids[0].write(b)
+		b.WriteByte(' ')
+		b.WriteString(n.Op.String())
+		b.WriteByte(' ')
+		n.Kids[1].write(b)
+		b.WriteByte(')')
+	case Nary:
+		b.WriteString(n.Op.String())
+		b.WriteByte('(')
+		for i, k := range n.Kids {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			k.write(b)
+		}
+		b.WriteByte(')')
+	case SubSite:
+		fmt.Fprintf(b, "<%s↓>", n.Sym)
+	case Foot:
+		fmt.Fprintf(b, "<%s*>", n.Sym)
+	}
+}
+
+// Pretty returns a human-oriented rendering: literals at short precision
+// and no outermost parentheses. Intended for reports and example output,
+// not for cache keys.
+func (n *Node) Pretty() string {
+	s := n.pretty()
+	return strings.TrimSuffix(strings.TrimPrefix(s, "("), ")")
+}
+
+func (n *Node) pretty() string {
+	switch n.Kind {
+	case Lit:
+		return strconv.FormatFloat(n.Val, 'g', 5, 64)
+	case Param, Var:
+		return n.Name
+	case Unary:
+		if n.Op == OpNeg {
+			return "(-" + n.Kids[0].pretty() + ")"
+		}
+		return n.Op.String() + "(" + n.Kids[0].pretty() + ")"
+	case Binary:
+		return "(" + n.Kids[0].pretty() + " " + n.Op.String() + " " + n.Kids[1].pretty() + ")"
+	case Nary:
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			parts[i] = k.pretty()
+		}
+		return n.Op.String() + "(" + strings.Join(parts, ", ") + ")"
+	case SubSite:
+		return "<" + n.Sym + "↓>"
+	case Foot:
+		return "<" + n.Sym + "*>"
+	}
+	return "?"
+}

@@ -1,0 +1,45 @@
+package gp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gmr/internal/tag"
+)
+
+// savedModel is the on-disk form of an individual: the derivation tree
+// (structure) plus the constant-parameter vector.
+type savedModel struct {
+	Params []float64       `json:"params"`
+	Deriv  json.RawMessage `json:"derivation"`
+}
+
+// Save writes the individual as JSON, suitable for LoadIndividual against
+// the same grammar.
+func (ind *Individual) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := tag.Encode(&buf, ind.Deriv); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(savedModel{Params: ind.Params, Deriv: buf.Bytes()})
+}
+
+// LoadIndividual reads an individual saved by Save, resolving its
+// derivation tree against the grammar. The individual is returned
+// unevaluated.
+func LoadIndividual(r io.Reader, g *tag.Grammar) (*Individual, error) {
+	var sm savedModel
+	if err := json.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("gp: load: %v", err)
+	}
+	d, err := g.Decode(bytes.NewReader(sm.Deriv))
+	if err != nil {
+		return nil, err
+	}
+	ind := NewIndividual(d, sm.Params)
+	return ind, nil
+}

@@ -1,0 +1,444 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gmr/internal/stats"
+	"gmr/internal/tag"
+)
+
+// Config holds the TAG3P parameters (Section III-B2 and Appendix B).
+type Config struct {
+	// PopSize is the population size (paper: 200 for GMR).
+	PopSize int
+	// MaxGen is the number of generations (paper: 100).
+	MaxGen int
+	// MinSize and MaxSize bound derivation-tree sizes (paper: 2, 50).
+	MinSize, MaxSize int
+	// InitMaxSize bounds the *initial* derivation sizes: model revision
+	// starts from the knowledge-based process with small random
+	// revisions and grows them under selection, rather than from
+	// heavily mutated processes. Zero means min(MaxSize, MinSize+6).
+	InitMaxSize int
+	// Operator probabilities (paper: 0.3/0.3/0.3/0.1). They are
+	// normalized if they do not sum to 1.
+	PCrossover, PSubtreeMut, PGaussMut, PReplication float64
+	// TournamentSize for selection (paper: 5).
+	TournamentSize int
+	// EliteSize individuals are copied unchanged (paper: 2).
+	EliteSize int
+	// LocalSearchSteps per offspring (paper: 5); each step proposes an
+	// insertion or deletion with equal probability and keeps it only if
+	// fitness improves (stochastic hill climbing).
+	LocalSearchSteps int
+	// SigmaRampGens is the number of final generations over which the
+	// Gaussian-mutation σ is ramped down linearly (Section III-B3);
+	// zero means MaxGen/2.
+	SigmaRampGens int
+	// GaussPerParam is the probability that Gaussian mutation perturbs
+	// each individual constant (at least one is always perturbed); zero
+	// means 0.25.
+	GaussPerParam float64
+	// ParsimonyTieBreak makes tournament selection prefer the smaller
+	// derivation tree when two candidates' fitnesses differ by less than
+	// this relative margin (lexicographic parsimony pressure, a standard
+	// bloat control). Zero disables it.
+	ParsimonyTieBreak float64
+	// EliteRefineSteps is the number of parameter hill-climbing steps
+	// applied to the generation's best individual after selection.
+	// Structural revisions only pay off once the constants co-adapt, so
+	// the champion gets an intensive calibration pass each generation
+	// (model calibration inside model revision). Zero means
+	// 4×LocalSearchSteps; negative disables refinement.
+	EliteRefineSteps int
+	// Priors are the per-parameter Gaussian-mutation priors, aligned
+	// with Individual.Params.
+	Priors []Prior
+	// InitParamsAtMean starts every individual's parameters at the
+	// prior means (Section III-B3: "In the beginning, parameters are
+	// set to the expected value"). When false, parameters initialize
+	// uniformly inside the prior box (used by ablations).
+	InitParamsAtMean bool
+	// InitParams, when non-nil, overrides the initial parameter vector
+	// for every individual (e.g. a pre-calibrated starting point — the
+	// expert parameter values that model revision receives as input
+	// along with the initial structure).
+	InitParams []float64
+	// SeedIndividuals are cloned into the initial population before the
+	// random derivations are drawn (e.g. the unrevised input process
+	// itself, so the search starts no worse than its knowledge-based
+	// baseline).
+	SeedIndividuals []*Individual
+	// Seed drives all randomness of the run.
+	Seed int64
+	// Workers bounds evaluation parallelism; zero means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PopSize == 0 {
+		c.PopSize = 200
+	}
+	if c.MaxGen == 0 {
+		c.MaxGen = 100
+	}
+	if c.MinSize == 0 {
+		c.MinSize = 2
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 50
+	}
+	if c.InitMaxSize == 0 {
+		c.InitMaxSize = c.MinSize + 6
+		if c.InitMaxSize > c.MaxSize {
+			c.InitMaxSize = c.MaxSize
+		}
+	}
+	if c.PCrossover == 0 && c.PSubtreeMut == 0 && c.PGaussMut == 0 && c.PReplication == 0 {
+		c.PCrossover, c.PSubtreeMut, c.PGaussMut, c.PReplication = 0.3, 0.3, 0.3, 0.1
+	}
+	if c.TournamentSize == 0 {
+		c.TournamentSize = 5
+	}
+	if c.EliteSize == 0 {
+		c.EliteSize = 2
+	}
+	if c.SigmaRampGens == 0 {
+		c.SigmaRampGens = c.MaxGen / 2
+	}
+	if c.GaussPerParam == 0 {
+		c.GaussPerParam = 0.25
+	}
+	if c.EliteRefineSteps == 0 {
+		c.EliteRefineSteps = 4 * c.LocalSearchSteps
+	}
+	if c.EliteRefineSteps < 0 {
+		c.EliteRefineSteps = 0
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// GenStats summarizes one generation.
+type GenStats struct {
+	Gen         int
+	BestFitness float64
+	MeanFitness float64
+	BestSize    int
+	Evaluations int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Best is the best individual ever seen (a clone).
+	Best *Individual
+	// Final is the last generation's population, fitness-sorted.
+	Final []*Individual
+	// History holds per-generation statistics.
+	History []GenStats
+	// Evaluations counts Evaluate calls issued by the engine.
+	Evaluations int
+}
+
+// Engine runs TAG3P over a grammar with a fitness evaluator.
+type Engine struct {
+	cfg  Config
+	g    *tag.Grammar
+	eval Evaluator
+	rng  *rand.Rand
+
+	evaluations int
+}
+
+// NewEngine validates the configuration and constructs an engine.
+func NewEngine(g *tag.Grammar, eval Evaluator, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if g == nil || eval == nil {
+		return nil, fmt.Errorf("gp: grammar and evaluator are required")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
+		return nil, fmt.Errorf("gp: invalid size bounds [%d, %d]", cfg.MinSize, cfg.MaxSize)
+	}
+	if cfg.PopSize < 2 {
+		return nil, fmt.Errorf("gp: population size %d too small", cfg.PopSize)
+	}
+	return &Engine{cfg: cfg, g: g, eval: eval, rng: stats.NewRand(cfg.Seed)}, nil
+}
+
+// initialParams draws a starting parameter vector.
+func (e *Engine) initialParams(rng *rand.Rand) []float64 {
+	if e.cfg.InitParams != nil {
+		return append([]float64(nil), e.cfg.InitParams...)
+	}
+	ps := make([]float64, len(e.cfg.Priors))
+	for i, p := range e.cfg.Priors {
+		if e.cfg.InitParamsAtMean {
+			ps[i] = p.Mean
+		} else {
+			ps[i] = stats.Uniform(rng, p.Min, p.Max)
+		}
+	}
+	return ps
+}
+
+// sigmaScale implements the linear ramp-down of mutation σ over the final
+// SigmaRampGens generations, from 1 down to 0.05, so late generations make
+// fine-grained parameter adjustments (Section III-B3).
+func (e *Engine) sigmaScale(gen int) float64 {
+	startRamp := e.cfg.MaxGen - e.cfg.SigmaRampGens
+	if gen < startRamp || e.cfg.SigmaRampGens <= 0 {
+		return 1
+	}
+	frac := float64(gen-startRamp) / float64(e.cfg.SigmaRampGens)
+	return 1 - 0.95*frac
+}
+
+// Run executes the full evolutionary loop of Figure 5 and returns the
+// result. It is deterministic for a fixed Config (including Seed) and
+// evaluator behavior.
+func (e *Engine) Run() (*Result, error) {
+	cfg := e.cfg
+	pop := make([]*Individual, 0, cfg.PopSize)
+	for _, seed := range cfg.SeedIndividuals {
+		if len(pop) < cfg.PopSize {
+			pop = append(pop, seed.Clone())
+		}
+	}
+	for len(pop) < cfg.PopSize {
+		d, err := e.g.RandomDeriv(e.rng, cfg.MinSize, cfg.InitMaxSize)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(pop, NewIndividual(d, e.initialParams(e.rng)))
+	}
+	e.evaluatePop(pop, nil)
+	sortByFitness(pop)
+
+	res := &Result{Best: pop[0].Clone()}
+	res.History = append(res.History, e.genStats(0, pop))
+
+	for gen := 1; gen <= cfg.MaxGen; gen++ {
+		next := make([]*Individual, 0, cfg.PopSize)
+		for i := 0; i < cfg.EliteSize && i < len(pop); i++ {
+			next = append(next, pop[i].Clone())
+		}
+		var fresh []*Individual
+		sigma := e.sigmaScale(gen)
+		sel := func() *Individual {
+			return e.selectParent(pop)
+		}
+		for len(next)+len(fresh) < cfg.PopSize {
+			op := e.pickOperator()
+			switch op {
+			case opCrossover:
+				a := sel()
+				b := sel()
+				c1, c2 := Crossover(e.rng, a, b, cfg.MinSize, cfg.MaxSize)
+				fresh = append(fresh, c1)
+				if len(next)+len(fresh) < cfg.PopSize {
+					fresh = append(fresh, c2)
+				}
+			case opSubtree:
+				fresh = append(fresh, SubtreeMutation(e.rng, e.g, sel(), cfg.MaxSize))
+			case opGauss:
+				fresh = append(fresh, GaussianMutation(e.rng, sel(), cfg.Priors, sigma, cfg.GaussPerParam))
+			default: // replication
+				fresh = append(fresh, sel().Clone())
+			}
+		}
+		// Evaluate offspring, then run local search on each (both
+		// inside one parallel phase with per-individual RNG streams).
+		e.evaluatePop(fresh, e.localSearch)
+		next = append(next, fresh...)
+		pop = next
+		sortByFitness(pop)
+		e.refineElite(pop[0], sigma)
+		sortByFitness(pop)
+		if pop[0].Fitness < res.Best.Fitness {
+			res.Best = pop[0].Clone()
+		}
+		res.History = append(res.History, e.genStats(gen, pop))
+	}
+	res.Final = pop
+	res.Evaluations = e.evaluations
+	return res, nil
+}
+
+type operator int
+
+const (
+	opCrossover operator = iota
+	opSubtree
+	opGauss
+	opReplicate
+)
+
+func (e *Engine) pickOperator() operator {
+	c := e.cfg
+	total := c.PCrossover + c.PSubtreeMut + c.PGaussMut + c.PReplication
+	r := e.rng.Float64() * total
+	switch {
+	case r < c.PCrossover:
+		return opCrossover
+	case r < c.PCrossover+c.PSubtreeMut:
+		return opSubtree
+	case r < c.PCrossover+c.PSubtreeMut+c.PGaussMut:
+		return opGauss
+	default:
+		return opReplicate
+	}
+}
+
+// localSearch applies stochastic hill climbing (Section III-D): at each
+// step, propose an insertion, a deletion, or a small Gaussian parameter
+// move with equal probability, and adopt the change only if it improves
+// fitness. The individual is assumed evaluated.
+//
+// The parameter move extends the paper's insertion/deletion pair: in this
+// landscape a structural revision only pays off once the constants
+// co-adapt (adding a correct term to an already-calibrated process first
+// makes it worse), so hill climbing must be able to follow a structural
+// step with parameter steps inside the same search chain.
+func (e *Engine) localSearch(ind *Individual, rng *rand.Rand) int {
+	evals := 0
+	for step := 0; step < e.cfg.LocalSearchSteps; step++ {
+		var cand *Individual
+		switch rng.Intn(3) {
+		case 0:
+			cand = Insertion(rng, e.g, ind, e.cfg.MaxSize)
+		case 1:
+			cand = Deletion(rng, ind, e.cfg.MinSize)
+		default:
+			cand = GaussianMutation(rng, ind, e.cfg.Priors, 0.3, e.cfg.GaussPerParam)
+		}
+		if cand == nil {
+			continue
+		}
+		e.eval.Evaluate(cand)
+		evals++
+		if cand.Fitness < ind.Fitness {
+			*ind = *cand
+		}
+	}
+	return evals
+}
+
+// selectParent runs tournament selection with optional lexicographic
+// parsimony pressure: among near-equal fitnesses, the smaller tree wins.
+func (e *Engine) selectParent(pop []*Individual) *Individual {
+	best := pop[e.rng.Intn(len(pop))]
+	for i := 1; i < e.cfg.TournamentSize; i++ {
+		c := pop[e.rng.Intn(len(pop))]
+		if e.better(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func (e *Engine) better(a, b *Individual) bool {
+	margin := e.cfg.ParsimonyTieBreak
+	if margin > 0 && !math.IsInf(a.Fitness, 0) && !math.IsInf(b.Fitness, 0) {
+		scale := math.Max(math.Abs(a.Fitness), math.Abs(b.Fitness))
+		if math.Abs(a.Fitness-b.Fitness) <= margin*scale {
+			return a.Size() < b.Size()
+		}
+	}
+	return a.Fitness < b.Fitness
+}
+
+// refineElite hill-climbs the constants of the generation's champion with
+// annealed Gaussian steps, adopting only improvements.
+func (e *Engine) refineElite(ind *Individual, sigma float64) {
+	if e.cfg.EliteRefineSteps <= 0 {
+		return
+	}
+	e.eval.BeginBatch()
+	for step := 0; step < e.cfg.EliteRefineSteps; step++ {
+		scale := sigma * (0.5 - 0.4*float64(step)/float64(e.cfg.EliteRefineSteps))
+		cand := GaussianMutation(e.rng, ind, e.cfg.Priors, scale, e.cfg.GaussPerParam)
+		e.eval.Evaluate(cand)
+		e.evaluations++
+		if cand.Fitness < ind.Fitness {
+			*ind = *cand
+		}
+	}
+	e.eval.EndBatch()
+}
+
+// evaluatePop evaluates all unevaluated individuals in parallel (one batch:
+// shared evaluator state is frozen) and then runs the optional per-
+// individual follow-up (local search) inside the same batch. RNG streams
+// are pre-split per individual so the run is deterministic regardless of
+// scheduling.
+func (e *Engine) evaluatePop(pop []*Individual, followUp func(*Individual, *rand.Rand) int) {
+	type job struct {
+		ind *Individual
+		rng *rand.Rand
+	}
+	jobs := make([]job, 0, len(pop))
+	for _, ind := range pop {
+		jobs = append(jobs, job{ind, stats.Split(e.rng)})
+	}
+	e.eval.BeginBatch()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.cfg.Workers)
+	var mu sync.Mutex
+	evals := 0
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			n := 0
+			if !j.ind.Evaluated {
+				e.eval.Evaluate(j.ind)
+				n++
+			}
+			if followUp != nil {
+				n += followUp(j.ind, j.rng)
+			}
+			mu.Lock()
+			evals += n
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	e.eval.EndBatch()
+	e.evaluations += evals
+}
+
+func (e *Engine) genStats(gen int, pop []*Individual) GenStats {
+	mean, n := 0.0, 0
+	for _, ind := range pop {
+		if !math.IsInf(ind.Fitness, 1) {
+			mean += ind.Fitness
+			n++
+		}
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	return GenStats{
+		Gen:         gen,
+		BestFitness: pop[0].Fitness,
+		MeanFitness: mean,
+		BestSize:    pop[0].Size(),
+		Evaluations: e.evaluations,
+	}
+}
+
+func sortByFitness(pop []*Individual) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].Fitness < pop[j].Fitness })
+}

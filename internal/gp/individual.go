@@ -1,0 +1,98 @@
+// Package gp implements the TAG3P evolutionary engine of the GMR framework
+// (Section III-B): a population of TAG derivation trees plus constant
+// parameters, evolved by tournament selection, elitism, grammar-respecting
+// crossover and subtree mutation, Gaussian mutation of constants, and
+// stochastic hill-climbing local search via insertion/deletion.
+package gp
+
+import (
+	"math"
+
+	"gmr/internal/expr"
+	"gmr/internal/tag"
+)
+
+// Individual is one candidate model: a derivation tree (structure) and a
+// constant-parameter vector (Table III values). Random constants (R) in
+// revisions live as literal leaves inside the derivation tree's lexemes.
+type Individual struct {
+	Deriv  *tag.DerivNode
+	Params []float64
+
+	// Fitness is the evaluated training fitness (lower is better);
+	// +Inf until evaluated.
+	Fitness float64
+	// Evaluated reports whether Fitness is meaningful.
+	Evaluated bool
+	// FullEval reports whether the last evaluation ran every fitness
+	// case (false when evaluation was short-circuited).
+	FullEval bool
+}
+
+// NewIndividual wraps a derivation tree and parameter vector with an
+// unevaluated fitness.
+func NewIndividual(d *tag.DerivNode, params []float64) *Individual {
+	return &Individual{Deriv: d, Params: append([]float64(nil), params...), Fitness: math.Inf(1)}
+}
+
+// Clone deep-copies the individual, including its evaluation state.
+func (ind *Individual) Clone() *Individual {
+	return &Individual{
+		Deriv:     ind.Deriv.Clone(),
+		Params:    append([]float64(nil), ind.Params...),
+		Fitness:   ind.Fitness,
+		Evaluated: ind.Evaluated,
+		FullEval:  ind.FullEval,
+	}
+}
+
+// Invalidate marks the individual as needing re-evaluation after a
+// structural or parameter change.
+func (ind *Individual) Invalidate() {
+	ind.Fitness = math.Inf(1)
+	ind.Evaluated = false
+	ind.FullEval = false
+}
+
+// Size returns the derivation-tree size (the paper's chromosome size).
+func (ind *Individual) Size() int { return ind.Deriv.Size() }
+
+// RLiterals returns pointers to every random-constant literal in the
+// individual's lexemes, the mutable revision constants targeted by Gaussian
+// mutation alongside Params.
+func (ind *Individual) RLiterals() []*expr.Node {
+	var lits []*expr.Node
+	ind.Deriv.Walk(func(n, _ *tag.DerivNode) bool {
+		for _, l := range n.Lexemes {
+			l.Walk(func(m *expr.Node) bool {
+				if m.Kind == expr.Lit {
+					lits = append(lits, m)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return lits
+}
+
+// Evaluator scores individuals. Implementations must be safe for
+// concurrent Evaluate calls between BeginBatch and EndBatch; the engine
+// freezes any shared evaluation state (e.g. the short-circuiting
+// threshold's best-previous-full fitness) across a batch by calling the
+// batch hooks.
+type Evaluator interface {
+	// BeginBatch snapshots shared state for a deterministic batch.
+	BeginBatch()
+	// Evaluate computes and stores the individual's fitness.
+	Evaluate(ind *Individual)
+	// EndBatch commits state accumulated during the batch.
+	EndBatch()
+}
+
+// Prior is the Gaussian-mutation prior of one constant parameter: its
+// expected value and exploration bounds (a Table III row), per Section
+// III-B3.
+type Prior struct {
+	Mean, Min, Max float64
+}

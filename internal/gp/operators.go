@@ -1,0 +1,198 @@
+package gp
+
+import (
+	"math/rand"
+
+	"gmr/internal/stats"
+	"gmr/internal/tag"
+)
+
+// maxRetries bounds operator retry loops (Section III-B2: "the previous
+// process is retried unless the retry count has reached some predefined
+// limit").
+const maxRetries = 10
+
+// derivSlot addresses one non-root derivation node via its parent, for
+// in-place subtree replacement.
+type derivSlot struct {
+	parent *tag.DerivNode
+	idx    int
+}
+
+func nonRootSlots(root *tag.DerivNode) []derivSlot {
+	var slots []derivSlot
+	root.Walk(func(n, _ *tag.DerivNode) bool {
+		for i := range n.Children {
+			slots = append(slots, derivSlot{n, i})
+		}
+		return true
+	})
+	return slots
+}
+
+func (s derivSlot) node() *tag.DerivNode { return s.parent.Children[s.idx] }
+
+// Crossover swaps compatible derivation subtrees between clones of two
+// parents (Figure 6a/b), and uniformly exchanges constant parameters
+// between the children. Two subtrees are compatible when each can adjoin
+// where the other sits — with per-address symbols this means equal root
+// symbols — and the resulting trees respect the size bounds. Parents are
+// not modified. If no compatible subtree pair is found within the retry
+// limit, the children are clones with exchanged parameters only.
+//
+// The parameter exchange reflects the TAG3P representation, where
+// constants are leaves of the trees being recombined: crossover there
+// mixes parameter values between lineages, which is essential for
+// population-based calibration.
+func Crossover(rng *rand.Rand, a, b *Individual, minSize, maxSize int) (*Individual, *Individual) {
+	ca, cb := a.Clone(), b.Clone()
+	// Uniform parameter exchange.
+	swapped := false
+	for i := range ca.Params {
+		if i < len(cb.Params) && rng.Float64() < 0.5 {
+			ca.Params[i], cb.Params[i] = cb.Params[i], ca.Params[i]
+			swapped = true
+		}
+	}
+	if swapped {
+		ca.Invalidate()
+		cb.Invalidate()
+	}
+	slotsA, slotsB := nonRootSlots(ca.Deriv), nonRootSlots(cb.Deriv)
+	if len(slotsA) == 0 || len(slotsB) == 0 {
+		return ca, cb
+	}
+	for try := 0; try < maxRetries; try++ {
+		sa := slotsA[rng.Intn(len(slotsA))]
+		sb := slotsB[rng.Intn(len(slotsB))]
+		na, nb := sa.node(), sb.node()
+		if na.Elem.RootSym != nb.Elem.RootSym {
+			continue
+		}
+		dA := nb.Size() - na.Size()
+		newA, newB := ca.Deriv.Size()+dA, cb.Deriv.Size()-dA
+		if newA < minSize || newA > maxSize || newB < minSize || newB > maxSize {
+			continue
+		}
+		// The adjunction addresses stay with the slots: swap subtrees
+		// but keep each child's address valid for its new parent by
+		// swapping the Addr fields too.
+		na.Addr, nb.Addr = nb.Addr, na.Addr
+		sa.parent.Children[sa.idx], sb.parent.Children[sb.idx] = nb, na
+		ca.Invalidate()
+		cb.Invalidate()
+		return ca, cb
+	}
+	return ca, cb
+}
+
+// SubtreeMutation replaces a random non-root derivation subtree of a clone
+// with a freshly grown subtree of similar size and the same root symbol
+// (Figure 6c/d). If the tree has no non-root node, a new subtree is grown
+// at a random open address instead.
+func SubtreeMutation(rng *rand.Rand, g *tag.Grammar, ind *Individual, maxSize int) *Individual {
+	c := ind.Clone()
+	slots := nonRootSlots(c.Deriv)
+	if len(slots) == 0 {
+		if _, err := g.Insert(rng, c.Deriv); err == nil {
+			c.Invalidate()
+		}
+		return c
+	}
+	s := slots[rng.Intn(len(slots))]
+	old := s.node()
+	// Budget around the old size, with enough headroom to sample
+	// multi-node revision chains in one move (pure ±1 steps cannot
+	// cross fitness valleys that need a composed revision).
+	budget := 1 + rng.Intn(old.Size()+6)
+	if room := maxSize - (c.Deriv.Size() - old.Size()); budget > room {
+		budget = room
+	}
+	sub, err := g.GrowSubtree(rng, old.Elem.RootSym, old.Addr, budget)
+	if err != nil || sub == nil {
+		return c
+	}
+	s.parent.Children[s.idx] = sub
+	c.Invalidate()
+	return c
+}
+
+// GaussianMutation perturbs the constants of a clone of the individual
+// (Section III-B3): a targeted parameter is resampled from a truncated
+// Gaussian centered on its current value (mean-shifting: the sampled value
+// becomes the next mean) with σ = sigmaScale · mean/4, clamped to the
+// prior's bounds; a targeted revision constant R is resampled with
+// σ = sigmaScale · max(0.25, |v|/4), unbounded, letting revisions discover
+// offsets outside [0,1). perParam is the probability that each individual
+// constant is perturbed (at least one always is): perturbing every constant
+// simultaneously makes almost all proposals deleterious in a 16-dimensional
+// box, so sparser moves calibrate much faster.
+func GaussianMutation(rng *rand.Rand, ind *Individual, priors []Prior, sigmaScale, perParam float64) *Individual {
+	c := ind.Clone()
+	lits := c.RLiterals()
+	n := len(c.Params)
+	if len(priors) < n {
+		n = len(priors)
+	}
+	total := n + len(lits)
+	forced := -1
+	if total > 0 {
+		forced = rng.Intn(total)
+	}
+	for i := 0; i < n; i++ {
+		if i != forced && rng.Float64() >= perParam {
+			continue
+		}
+		p := priors[i]
+		sigma := sigmaScale * p.Mean / 4
+		if sigma <= 0 {
+			sigma = sigmaScale * (p.Max - p.Min) / 8
+		}
+		c.Params[i] = stats.TruncGauss(rng, c.Params[i], sigma, p.Min, p.Max)
+	}
+	for j, lit := range lits {
+		if n+j != forced && rng.Float64() >= perParam {
+			continue
+		}
+		sigma := lit.Val / 4
+		if sigma < 0 {
+			sigma = -sigma
+		}
+		if sigma < 0.25 {
+			sigma = 0.25
+		}
+		lit.Val += sigmaScale * sigma * rng.NormFloat64()
+	}
+	c.Invalidate()
+	return c
+}
+
+// Insertion adds one random compatible β at a random open address of a
+// clone (Figure 6e/f), respecting maxSize. It returns nil when the tree
+// cannot grow.
+func Insertion(rng *rand.Rand, g *tag.Grammar, ind *Individual, maxSize int) *Individual {
+	if ind.Size() >= maxSize {
+		return nil
+	}
+	c := ind.Clone()
+	child, err := g.Insert(rng, c.Deriv)
+	if err != nil || child == nil {
+		return nil
+	}
+	c.Invalidate()
+	return c
+}
+
+// Deletion removes one random leaf derivation node of a clone (Figure
+// 6g/h), respecting minSize. It returns nil when the tree cannot shrink.
+func Deletion(rng *rand.Rand, ind *Individual, minSize int) *Individual {
+	if ind.Size() <= minSize || ind.Size() <= 1 {
+		return nil
+	}
+	c := ind.Clone()
+	if !tag.Delete(rng, c.Deriv) {
+		return nil
+	}
+	c.Invalidate()
+	return c
+}

@@ -1,0 +1,187 @@
+// Package grammar encodes the case study's prior knowledge as a TAG: the
+// extensible biological process of equations (5) and (6) as the root
+// α-tree, and the plausible revisions of Table II as connector and extender
+// β-trees with per-extension variable lexemes.
+//
+// Symbol scheme (Section III-B3): each extension point Extk is a connector
+// symbol — connector β-trees (root/foot Extk) may adjoin only there,
+// preserving the initial process under a limited set of operations. Every
+// operand a connector introduces is an extender symbol ExtEk: extender
+// β-trees (root/foot ExtEk) may adjoin only into revision material, never
+// into the initial process. Substitution sites also carry ExtEk, so a
+// substituted argument can itself be extended (nested subexpressions).
+package grammar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmr/internal/bio"
+	"gmr/internal/expr"
+	"gmr/internal/tag"
+)
+
+// SysSym labels the structural root that combines the two differential
+// equations into a single α-tree (Section III-C, "Revising Multiple
+// Processes"). No β-trees are registered for it, so it is never revised,
+// and SplitSystem takes it apart again for fitness evaluation.
+const SysSym = "Sys"
+
+// Extension describes one row of Table II: an extension point, the
+// variables that may enter there, its connector operator, and the extender
+// operators available for growing revision material.
+type Extension struct {
+	// ID is the paper's extension number (1–3, 5–9; 4 is unused).
+	ID int
+	// Vars are the temporal variables allowed at this extension. The
+	// random constant R is always additionally available.
+	Vars []string
+	// Connector is the single operator a connector β applies to the
+	// initial process (+ for Ext1–3, × for Ext5–9).
+	Connector expr.Op
+	// Extenders are the operators available to extender β-trees.
+	Extenders []expr.Op
+}
+
+// ConnectorSym returns the adjunction symbol of the extension point.
+func (e Extension) ConnectorSym() string { return fmt.Sprintf("Ext%d", e.ID) }
+
+// ExtenderSym returns the adjunction/substitution symbol of the extension's
+// revision material.
+func (e Extension) ExtenderSym() string { return fmt.Sprintf("ExtE%d", e.ID) }
+
+// allExtenderOps is the paper's extender set: +, −, ×, ÷, log, exp.
+func allExtenderOps() []expr.Op {
+	return []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv, expr.OpLog, expr.OpExp}
+}
+
+// DefaultExtensions returns Table II.
+func DefaultExtensions() []Extension {
+	ext := func(id int, conn expr.Op, vars ...string) Extension {
+		return Extension{ID: id, Vars: vars, Connector: conn, Extenders: allExtenderOps()}
+	}
+	return []Extension{
+		ext(1, expr.OpAdd, "Vcd", "Vph", "Valk"),
+		ext(2, expr.OpAdd, "Vsd"),
+		ext(3, expr.OpAdd, "Vdo", "Vph", "Valk"),
+		ext(5, expr.OpMul, "Vtmp"),
+		ext(6, expr.OpMul, "Vtmp"),
+		ext(7, expr.OpMul, "Vtmp"),
+		ext(8, expr.OpMul, "Vtmp"),
+		ext(9, expr.OpMul, "Vtmp"),
+	}
+}
+
+// RName is the reported lexeme name for random constants.
+const RName = "R"
+
+// River builds the full case-study grammar: the combined α-tree of
+// equations (5) and (6) and the β-trees/lexemes generated from the given
+// extensions (usually DefaultExtensions).
+func River(exts []Extension) (*tag.Grammar, error) {
+	root := expr.Add(bio.PhyDeriv(), bio.ZooDeriv()).Labeled(SysSym)
+	alpha := &tag.ElemTree{Name: "alpha:river", Kind: tag.Alpha, RootSym: SysSym, Root: root}
+
+	g := &tag.Grammar{
+		Alphas:  []*tag.ElemTree{alpha},
+		Betas:   map[string][]*tag.ElemTree{},
+		Lexemes: map[string]tag.LexemeGen{},
+	}
+	for _, e := range exts {
+		cs, es := e.ConnectorSym(), e.ExtenderSym()
+
+		// Connector: Extk → (Extk* ⊕ ExtEk↓). The new operand is a
+		// substitution site carrying the extender symbol, so it can be
+		// filled by a variable or R and later grown by extenders.
+		conn := &tag.ElemTree{
+			Name:    fmt.Sprintf("conn:%s:%s", cs, e.Connector),
+			Kind:    tag.Beta,
+			RootSym: cs,
+			Root:    expr.NewBinary(e.Connector, expr.NewFoot(cs), expr.NewSubSite(es)).Labeled(cs),
+		}
+		if err := conn.Validate(); err != nil {
+			return nil, err
+		}
+		g.Betas[cs] = append(g.Betas[cs], conn)
+
+		// Extenders: ExtEk → (ExtEk* op ExtEk↓) for binary operators,
+		// in both operand orders for the non-commutative ones, and
+		// ExtEk → op(ExtEk*) for log/exp.
+		for _, op := range e.Extenders {
+			switch op {
+			case expr.OpLog, expr.OpExp:
+				t := &tag.ElemTree{
+					Name:    fmt.Sprintf("ext:%s:%s", es, op),
+					Kind:    tag.Beta,
+					RootSym: es,
+					Root:    expr.NewUnary(op, expr.NewFoot(es)).Labeled(es),
+				}
+				if err := t.Validate(); err != nil {
+					return nil, err
+				}
+				g.Betas[es] = append(g.Betas[es], t)
+			case expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv:
+				t := &tag.ElemTree{
+					Name:    fmt.Sprintf("ext:%s:%s", es, op),
+					Kind:    tag.Beta,
+					RootSym: es,
+					Root:    expr.NewBinary(op, expr.NewFoot(es), expr.NewSubSite(es)).Labeled(es),
+				}
+				if err := t.Validate(); err != nil {
+					return nil, err
+				}
+				g.Betas[es] = append(g.Betas[es], t)
+				if op == expr.OpSub || op == expr.OpDiv {
+					rt := &tag.ElemTree{
+						Name:    fmt.Sprintf("ext:%s:%s:rev", es, op),
+						Kind:    tag.Beta,
+						RootSym: es,
+						Root:    expr.NewBinary(op, expr.NewSubSite(es), expr.NewFoot(es)).Labeled(es),
+					}
+					if err := rt.Validate(); err != nil {
+						return nil, err
+					}
+					g.Betas[es] = append(g.Betas[es], rt)
+				}
+			default:
+				return nil, fmt.Errorf("grammar: unsupported extender op %s", op)
+			}
+		}
+
+		// Lexemes: one of the extension's variables, or a random
+		// constant R ~ U[0,1).
+		vars := append([]string(nil), e.Vars...)
+		g.Lexemes[es] = func(rng *rand.Rand) *tag.LexemeChoice {
+			k := rng.Intn(len(vars) + 1)
+			if k == len(vars) {
+				return &tag.LexemeChoice{Name: RName, Tree: expr.NewLit(rng.Float64())}
+			}
+			return &tag.LexemeChoice{Name: vars[k], Tree: expr.NewVar(vars[k])}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SplitSystem decomposes a derived combined tree back into the two
+// derivative expressions (Section III-C): the α-tree joins them under a
+// structural binary node labeled SysSym whose children are dBPhy/dt and
+// dBZoo/dt.
+func SplitSystem(derived *expr.Node) (phy, zoo *expr.Node, err error) {
+	if derived == nil || derived.Sym != SysSym || len(derived.Kids) != 2 {
+		return nil, nil, fmt.Errorf("grammar: derived tree is not a combined system")
+	}
+	return derived.Kids[0], derived.Kids[1], nil
+}
+
+// BindSystem resolves variable and parameter indices in both halves of a
+// split system using the canonical bio layouts.
+func BindSystem(phy, zoo *expr.Node, consts []bio.Constant) error {
+	vi, pi := bio.VarIndex(), bio.ParamIndex(consts)
+	if err := expr.Bind(phy, vi, pi); err != nil {
+		return err
+	}
+	return expr.Bind(zoo, vi, pi)
+}

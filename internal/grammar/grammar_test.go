@@ -1,0 +1,367 @@
+package grammar
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gmr/internal/bio"
+	"gmr/internal/expr"
+	"gmr/internal/tag"
+)
+
+func TestDefaultExtensionsTableII(t *testing.T) {
+	exts := DefaultExtensions()
+	if len(exts) != 8 {
+		t.Fatalf("Table II has 8 extensions, got %d", len(exts))
+	}
+	byID := map[int]Extension{}
+	for _, e := range exts {
+		byID[e.ID] = e
+	}
+	if _, ok := byID[4]; ok {
+		t.Error("extension 4 must not exist (the paper skips it)")
+	}
+	// Connectors: + for extensions 1–3, × for 5–9.
+	for _, id := range []int{1, 2, 3} {
+		if byID[id].Connector != expr.OpAdd {
+			t.Errorf("Ext%d connector = %s, want +", id, byID[id].Connector)
+		}
+	}
+	for _, id := range []int{5, 6, 7, 8, 9} {
+		if byID[id].Connector != expr.OpMul {
+			t.Errorf("Ext%d connector = %s, want ×", id, byID[id].Connector)
+		}
+	}
+	// Variables per Table II.
+	wantVars := map[int][]string{
+		1: {"Vcd", "Vph", "Valk"},
+		2: {"Vsd"},
+		3: {"Vdo", "Vph", "Valk"},
+		5: {"Vtmp"}, 6: {"Vtmp"}, 7: {"Vtmp"}, 8: {"Vtmp"}, 9: {"Vtmp"},
+	}
+	for id, want := range wantVars {
+		got := byID[id].Vars
+		if len(got) != len(want) {
+			t.Errorf("Ext%d vars = %v, want %v", id, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Ext%d vars = %v, want %v", id, got, want)
+			}
+		}
+	}
+	// Extenders: +, −, ×, ÷, log, exp for all.
+	for _, e := range exts {
+		if len(e.Extenders) != 6 {
+			t.Errorf("Ext%d has %d extender ops, want 6", e.ID, len(e.Extenders))
+		}
+	}
+}
+
+func TestRiverGrammarValidates(t *testing.T) {
+	g, err := River(DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Alphas) != 1 {
+		t.Errorf("river grammar has %d α-trees, want 1", len(g.Alphas))
+	}
+	// One connector β per extension.
+	for _, e := range DefaultExtensions() {
+		if n := len(g.Betas[e.ConnectorSym()]); n != 1 {
+			t.Errorf("%s has %d connector β-trees, want 1", e.ConnectorSym(), n)
+		}
+		// 4 binary (plus reversed − and ÷) + 2 unary = 8 extender trees.
+		if n := len(g.Betas[e.ExtenderSym()]); n != 8 {
+			t.Errorf("%s has %d extender β-trees, want 8", e.ExtenderSym(), n)
+		}
+	}
+}
+
+func TestAlphaDerivesToManualProcess(t *testing.T) {
+	g, err := River(DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	root, err := g.NewNode(rng, g.Alphas[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := root.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phy, zoo, err := SplitSystem(derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unrevised α must equal the manual process exactly.
+	if phy.String() != bio.PhyDeriv().String() {
+		t.Errorf("unrevised dBPhy differs from equation (1):\n%s\n%s", phy, bio.PhyDeriv())
+	}
+	if zoo.String() != bio.ZooDeriv().String() {
+		t.Errorf("unrevised dBZoo differs from equation (2):\n%s\n%s", zoo, bio.ZooDeriv())
+	}
+}
+
+func TestSplitSystemErrors(t *testing.T) {
+	if _, _, err := SplitSystem(expr.NewLit(1)); err == nil {
+		t.Error("non-system tree accepted")
+	}
+	if _, _, err := SplitSystem(nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+}
+
+// TestRandomRevisionsEvaluate grows many random revisions and checks each
+// derives, splits, binds, and evaluates to a finite value under typical
+// conditions — i.e. the grammar only generates well-formed processes.
+func TestRandomRevisionsEvaluate(t *testing.T) {
+	g, err := River(DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := bio.DefaultConstants()
+	params := bio.Means(consts)
+	vars := make([]float64, bio.NumVars)
+	vi := bio.VarIndex()
+	for name, idx := range vi {
+		switch name {
+		case "BPhy":
+			vars[idx] = 15
+		case "BZoo":
+			vars[idx] = 2
+		case "Vp":
+			vars[idx] = 0.05
+		default:
+			vars[idx] = 5
+		}
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		d, err := g.RandomDeriv(rng, 2, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("revision %d invalid: %v", i, err)
+		}
+		derived, err := d.Derive()
+		if err != nil {
+			t.Fatalf("revision %d derive: %v", i, err)
+		}
+		phy, zoo, err := SplitSystem(derived)
+		if err != nil {
+			t.Fatalf("revision %d split: %v", i, err)
+		}
+		if err := BindSystem(phy, zoo, consts); err != nil {
+			t.Fatalf("revision %d bind: %v", i, err)
+		}
+		env := &expr.Env{Vars: vars, Params: params}
+		if _, err := phy.Eval(env); err != nil {
+			t.Fatalf("revision %d phy eval: %v", i, err)
+		}
+		if _, err := zoo.Eval(env); err != nil {
+			t.Fatalf("revision %d zoo eval: %v", i, err)
+		}
+	}
+}
+
+// TestKnowledgeConstraintsRespected verifies the Table II constraints hold
+// for every randomly grown revision: variables only appear at extensions
+// that allow them.
+func TestKnowledgeConstraintsRespected(t *testing.T) {
+	g, err := River(DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byExt := map[string]map[string]bool{}
+	for _, e := range DefaultExtensions() {
+		allowed := map[string]bool{}
+		for _, v := range e.Vars {
+			allowed[v] = true
+		}
+		byExt[e.ExtenderSym()] = allowed
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		d, err := g.RandomDeriv(rng, 2, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Walk(func(n, _ *tag.DerivNode) bool {
+			sites := n.Elem.SubSiteSyms()
+			for j, sym := range sites {
+				allowed, ok := byExt[sym]
+				if !ok {
+					t.Errorf("unknown site symbol %q", sym)
+					continue
+				}
+				lex := n.Lexemes[j]
+				lex.Walk(func(m *expr.Node) bool {
+					if m.Kind == expr.Var && !allowed[m.Name] {
+						t.Errorf("variable %s appeared at %s, not allowed by Table II", m.Name, sym)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// TestConnectorsPreserveInitialProcess: every revision's derived dBPhy/dt
+// must contain the manual growth-grazing skeleton — connectors only wrap
+// it, never destroy it.
+func TestConnectorsPreserveInitialProcess(t *testing.T) {
+	g, err := River(DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The manual µPhy core as a canonical substring (the light function
+	// survives every revision since no extension point sits inside it).
+	light := "((Vlgt / CBL) * exp((1 - (Vlgt / CBL))))"
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		d, err := g.RandomDeriv(rng, 2, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		derived, err := d.Derive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(derived.String(), light) {
+			t.Fatalf("revision %d destroyed the initial process:\n%s", i, derived)
+		}
+	}
+}
+
+func TestTruthProcessesReachable(t *testing.T) {
+	// The hidden revisions used by the dataset generator must be inside
+	// the grammar's search space. Construct them explicitly.
+	g, err := River(DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	root, err := g.NewNode(rng, g.Alphas[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ext9 revision: δZoo CDZ → CDZ × (Vtmp×0.04 + 0.45).
+	// connector at Ext9 (site filled with Vtmp), extender ×R at the site,
+	// extender +R at the × node.
+	conn := g.Betas["Ext9"][0]
+	ext9addrs := tag.AdjAddresses(g.Alphas[0].Root)
+	var ext9 tag.Address
+	for _, a := range ext9addrs {
+		if s, _ := tag.SymAt(g.Alphas[0].Root, a); s == "Ext9" {
+			ext9 = a
+		}
+	}
+	if ext9 == nil {
+		t.Fatal("Ext9 address not found in α-tree")
+	}
+	c, err := g.NewNode(rng, conn, ext9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Lexemes[0] = expr.NewVar("Vtmp")
+	root.Children = append(root.Children, c)
+
+	// Find the β-trees for ×(foot, site) and +(foot, site) under ExtE9.
+	var mulT, addT *tag.ElemTree
+	for _, b := range g.Betas["ExtE9"] {
+		if b.Name == "ext:ExtE9:*" {
+			mulT = b
+		}
+		if b.Name == "ext:ExtE9:+" {
+			addT = b
+		}
+	}
+	if mulT == nil || addT == nil {
+		t.Fatal("extender trees not found")
+	}
+	// The connector's site is its child 1; the extender wraps it there.
+	mul, _ := g.NewNode(rng, mulT, tag.Address{1})
+	mul.Lexemes[0] = expr.NewLit(0.04)
+	c.Children = append(c.Children, mul)
+	// The + extender adjoins at the × extender's root (address ε).
+	add, _ := g.NewNode(rng, addT, tag.Address{})
+	add.Lexemes[0] = expr.NewLit(0.45)
+	mul.Children = append(mul.Children, add)
+
+	if err := root.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	derived, err := root.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, zoo, err := SplitSystem(derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := zoo.String()
+	if !strings.Contains(s, "Vtmp") {
+		t.Errorf("constructed revision missing Vtmp: %s", s)
+	}
+	// Evaluate: δZoo should now scale with temperature.
+	consts := bio.DefaultConstants()
+	if err := BindSystem(expr.NewLit(0), zoo, consts); err != nil {
+		t.Fatal(err)
+	}
+	vars := make([]float64, bio.NumVars)
+	vi := bio.VarIndex()
+	vars[vi["BPhy"]], vars[vi["BZoo"]] = 15, 2
+	cold, warm := vars, append([]float64(nil), vars...)
+	cold[vi["Vtmp"]], warm[vi["Vtmp"]] = 5.0, 25.0
+	params := bio.Means(consts)
+	vCold, err := zoo.Eval(&expr.Env{Vars: cold, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vWarm, err := zoo.Eval(&expr.Env{Vars: warm, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher temperature → higher death rate → lower dBZoo/dt.
+	if !(vWarm < vCold) {
+		t.Errorf("temperature-dependent mortality not expressed: cold %v warm %v", vCold, vWarm)
+	}
+}
+
+func TestLexemeGeneratorDistribution(t *testing.T) {
+	g, err := River(DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	gen := g.Lexemes["ExtE1"]
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		lc := gen(rng)
+		counts[lc.Name]++
+		if lc.Name == RName {
+			if lc.Tree.Kind != expr.Lit || lc.Tree.Val < 0 || lc.Tree.Val >= 1 {
+				t.Fatalf("R lexeme out of [0,1): %v", lc.Tree)
+			}
+		} else if lc.Tree.Kind != expr.Var || lc.Tree.Name != lc.Name {
+			t.Fatalf("variable lexeme mismatch: %v vs %s", lc.Tree, lc.Name)
+		}
+	}
+	// All four choices (Vcd, Vph, Valk, R) must occur roughly uniformly.
+	for _, name := range []string{"Vcd", "Vph", "Valk", RName} {
+		if counts[name] < 4000/8 {
+			t.Errorf("lexeme %s drawn only %d/4000 times", name, counts[name])
+		}
+	}
+}

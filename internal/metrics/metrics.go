@@ -1,0 +1,75 @@
+// Package metrics implements the forecast-accuracy measures used in the
+// paper's evaluation (Section IV-C): RMSE and MAE, plus the Nash–Sutcliffe
+// efficiency and R² commonly reported alongside them in hydrology.
+package metrics
+
+import (
+	"math"
+
+	"gmr/internal/stats"
+)
+
+// RMSE returns the root mean square error between predicted and observed
+// series. It returns +Inf when the lengths differ or the series are empty,
+// or when any prediction is NaN/Inf, so that invalid models always lose.
+func RMSE(pred, obs []float64) float64 {
+	if len(pred) != len(obs) || len(pred) == 0 {
+		return math.Inf(1)
+	}
+	var sse float64
+	for i := range pred {
+		if math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
+			return math.Inf(1)
+		}
+		d := pred[i] - obs[i]
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(len(pred)))
+}
+
+// MAE returns the mean absolute error between predicted and observed series,
+// with the same invalid-input conventions as RMSE.
+func MAE(pred, obs []float64) float64 {
+	if len(pred) != len(obs) || len(pred) == 0 {
+		return math.Inf(1)
+	}
+	var sae float64
+	for i := range pred {
+		if math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
+			return math.Inf(1)
+		}
+		sae += math.Abs(pred[i] - obs[i])
+	}
+	return sae / float64(len(pred))
+}
+
+// NSE returns the Nash–Sutcliffe model efficiency: 1 - SSE/SS_tot. A value of
+// 1 is a perfect fit; 0 means the model predicts no better than the observed
+// mean. Returns -Inf for invalid input.
+func NSE(pred, obs []float64) float64 {
+	if len(pred) != len(obs) || len(pred) == 0 {
+		return math.Inf(-1)
+	}
+	mean := stats.Mean(obs)
+	var sse, sst float64
+	for i := range pred {
+		if math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
+			return math.Inf(-1)
+		}
+		d := pred[i] - obs[i]
+		sse += d * d
+		m := obs[i] - mean
+		sst += m * m
+	}
+	if sst == 0 {
+		return math.Inf(-1)
+	}
+	return 1 - sse/sst
+}
+
+// R2 returns the squared Pearson correlation between predicted and observed
+// series.
+func R2(pred, obs []float64) float64 {
+	r := stats.Pearson(pred, obs)
+	return r * r
+}

@@ -1,0 +1,272 @@
+package river
+
+import (
+	"math"
+	"testing"
+)
+
+func linearNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork(
+		[]Station{
+			{Name: "A", BaseFlow: 10, Retention: 0.1, RunoffCoef: 1},
+			{Name: "B", BaseFlow: 5, Retention: 0.2, RunoffCoef: 1},
+		},
+		[]Edge{{From: "A", To: "B", DelayDays: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork([]Station{{Name: "A"}, {Name: "A"}}, nil); err == nil {
+		t.Error("duplicate station accepted")
+	}
+	if _, err := NewNetwork([]Station{{Name: "A"}}, []Edge{{From: "A", To: "Z"}}); err == nil {
+		t.Error("edge to unknown station accepted")
+	}
+	if _, err := NewNetwork([]Station{{Name: ""}}, nil); err == nil {
+		t.Error("unnamed station accepted")
+	}
+	if _, err := NewNetwork(
+		[]Station{{Name: "A"}, {Name: "B"}},
+		[]Edge{{From: "A", To: "B"}, {From: "B", To: "A"}},
+	); err == nil {
+		t.Error("cyclic network accepted")
+	}
+	if _, err := NewNetwork([]Station{{Name: "A"}, {Name: "B"}},
+		[]Edge{{From: "A", To: "B", DelayDays: -1}}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestNakdongTopology(t *testing.T) {
+	n := Nakdong()
+	if len(n.Stations) != 12 {
+		t.Errorf("Nakdong has %d stations, want 12 (9 real + 3 virtual)", len(n.Stations))
+	}
+	virtual := 0
+	for _, s := range n.Stations {
+		if s.Virtual {
+			virtual++
+		}
+	}
+	if virtual != 3 {
+		t.Errorf("%d virtual stations, want 3 (one per confluence)", virtual)
+	}
+	// S1 is the outlet: nothing flows out of it, something flows in.
+	for _, e := range n.Edges {
+		if e.From == "S1" {
+			t.Error("S1 must be the outlet")
+		}
+	}
+	if len(n.Upstreams("S1")) == 0 {
+		t.Error("S1 has no inflow")
+	}
+	// Every confluence (virtual station) merges at least two bodies.
+	for _, s := range n.Stations {
+		if s.Virtual && len(n.Upstreams(s.Name)) < 2 {
+			t.Errorf("virtual station %s merges %d bodies, want >= 2", s.Name, len(n.Upstreams(s.Name)))
+		}
+	}
+}
+
+func TestRouteMassBalanceEquation9(t *testing.T) {
+	// Hand-check equation (9) on a two-station chain with delay 1:
+	// F_B,t = r_B·F_B,t-1 + (1-r_A)·F_A,t-1 + local_B.
+	n := linearNet(t)
+	days := 4
+	in := &Inputs{
+		Rain: map[string][]float64{"A": make([]float64, days), "B": make([]float64, days)},
+		Attr: map[string][][]float64{},
+	}
+	res, err := n.Route(in, days, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := res.Flow["A"], res.Flow["B"]
+	// A: F_A,t = 0.1·F_A,t-1 + 10.
+	if fa[0] != 10 {
+		t.Errorf("F_A,0 = %v, want 10", fa[0])
+	}
+	if want := 0.1*10 + 10; fa[1] != want {
+		t.Errorf("F_A,1 = %v, want %v", fa[1], want)
+	}
+	// B day0: no upstream arrival yet: F_B,0 = 5.
+	if fb[0] != 5 {
+		t.Errorf("F_B,0 = %v, want 5", fb[0])
+	}
+	// B day1: r_B·F_B,0 + (1-r_A)·F_A,0 + 5 = 1 + 9 + 5.
+	if want := 0.2*5 + 0.9*10 + 5; math.Abs(fb[1]-want) > 1e-12 {
+		t.Errorf("F_B,1 = %v, want %v", fb[1], want)
+	}
+	// B day2 uses F_A,1.
+	if want := 0.2*fb[1] + 0.9*fa[1] + 5; math.Abs(fb[2]-want) > 1e-12 {
+		t.Errorf("F_B,2 = %v, want %v", fb[2], want)
+	}
+}
+
+func TestRouteAttributeMixing(t *testing.T) {
+	// Two sources with distinct attribute values merging at a virtual
+	// station: the composite must be the flow-weighted average.
+	n, err := NewNetwork(
+		[]Station{
+			{Name: "A", BaseFlow: 30, RunoffCoef: 0},
+			{Name: "B", BaseFlow: 10, RunoffCoef: 0},
+			{Name: "V", Virtual: true},
+		},
+		[]Edge{{From: "A", To: "V"}, {From: "B", To: "V"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := 2
+	attrOf := func(v float64) [][]float64 {
+		a := make([][]float64, days)
+		for t := range a {
+			a[t] = []float64{v}
+		}
+		return a
+	}
+	in := &Inputs{
+		Rain: map[string][]float64{},
+		Attr: map[string][][]float64{"A": attrOf(1), "B": attrOf(5)},
+	}
+	res, err := n.Route(in, days, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// V receives 30 of attr 1 and 10 of attr 5 → (30·1+10·5)/40 = 2.
+	if got := res.Attr["V"][0][0]; math.Abs(got-2) > 1e-12 {
+		t.Errorf("composite attribute = %v, want 2", got)
+	}
+	if got := res.Flow["V"][0]; math.Abs(got-40) > 1e-12 {
+		t.Errorf("merged flow = %v, want 40", got)
+	}
+}
+
+func TestRouteRainfallRunoff(t *testing.T) {
+	n, err := NewNetwork(
+		[]Station{{Name: "A", BaseFlow: 10, Retention: 0, RunoffCoef: 2}},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := 2
+	in := &Inputs{
+		Rain: map[string][]float64{"A": {0, 5}},
+		Attr: map[string][][]float64{"A": {{1}, {1}}},
+		// Rain carries attribute value 9 (e.g. nutrient-rich runoff).
+		RainAttr: map[string][]float64{"A": {9}},
+	}
+	res, err := n.Route(in, days, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow["A"][1] != 10+2*5 {
+		t.Errorf("flow with runoff = %v, want 20", res.Flow["A"][1])
+	}
+	// Attribute: (10·1 + 10·9)/20 = 5.
+	if got := res.Attr["A"][1][0]; math.Abs(got-5) > 1e-12 {
+		t.Errorf("attr with runoff = %v, want 5", got)
+	}
+	// Dry day: pure local attribute.
+	if got := res.Attr["A"][0][0]; math.Abs(got-1) > 1e-12 {
+		t.Errorf("dry-day attr = %v, want 1", got)
+	}
+}
+
+func TestRouteNakdongEndToEnd(t *testing.T) {
+	n := Nakdong()
+	days := 60
+	in := &Inputs{
+		Rain:     map[string][]float64{},
+		Attr:     map[string][][]float64{},
+		RainAttr: map[string][]float64{},
+	}
+	for _, s := range n.Stations {
+		if s.Virtual {
+			continue
+		}
+		rain := make([]float64, days)
+		attr := make([][]float64, days)
+		for t := range attr {
+			attr[t] = []float64{2.5}
+			if t%10 == 0 {
+				rain[t] = 20
+			}
+		}
+		in.Rain[s.Name] = rain
+		in.Attr[s.Name] = attr
+		in.RainAttr[s.Name] = []float64{4.0}
+	}
+	res, err := n.Route(in, days, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After spin-up, S1 flow is positive and attributes are a convex
+	// combination of local (2.5) and rain (4.0) signatures.
+	for d := 30; d < days; d++ {
+		if res.Flow["S1"][d] <= 0 {
+			t.Fatalf("day %d: S1 flow %v", d, res.Flow["S1"][d])
+		}
+		a := res.Attr["S1"][d][0]
+		if a < 2.4 || a > 4.1 {
+			t.Fatalf("day %d: S1 attribute %v outside mixing range", d, a)
+		}
+	}
+	// Downstream flow accumulates: S1 must carry more water than S6
+	// once the wave arrives.
+	if res.Flow["S1"][days-1] <= res.Flow["S6"][days-1] {
+		t.Errorf("outlet flow %v not larger than headwater flow %v",
+			res.Flow["S1"][days-1], res.Flow["S6"][days-1])
+	}
+}
+
+func TestEvaporationLossConcentratesAttributes(t *testing.T) {
+	// A station losing 20% of its water per day to evaporation carries
+	// less flow but higher solute concentrations (mass conservation).
+	mk := func(loss float64) (*Network, *Inputs) {
+		n, err := NewNetwork(
+			[]Station{{Name: "A", BaseFlow: 10, RunoffCoef: 0, LossRate: loss}},
+			nil,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := &Inputs{
+			Rain: map[string][]float64{},
+			Attr: map[string][][]float64{"A": {{2.0}, {2.0}}},
+		}
+		return n, in
+	}
+	dry, dryIn := mk(0.2)
+	wet, wetIn := mk(0)
+	dryRes, err := dry.Route(dryIn, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wetRes, err := wet.Route(wetIn, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dryRes.Flow["A"][0] >= wetRes.Flow["A"][0] {
+		t.Errorf("evaporation did not reduce flow: %v vs %v", dryRes.Flow["A"][0], wetRes.Flow["A"][0])
+	}
+	if math.Abs(dryRes.Flow["A"][0]-8) > 1e-12 {
+		t.Errorf("flow after 20%% loss = %v, want 8", dryRes.Flow["A"][0])
+	}
+	if dryRes.Attr["A"][0][0] <= wetRes.Attr["A"][0][0] {
+		t.Errorf("evaporation did not concentrate attributes: %v vs %v",
+			dryRes.Attr["A"][0][0], wetRes.Attr["A"][0][0])
+	}
+	// Mass conservation: concentration × flow identical.
+	dryMass := dryRes.Attr["A"][0][0] * dryRes.Flow["A"][0]
+	wetMass := wetRes.Attr["A"][0][0] * wetRes.Flow["A"][0]
+	if math.Abs(dryMass-wetMass) > 1e-9 {
+		t.Errorf("solute mass not conserved: %v vs %v", dryMass, wetMass)
+	}
+}

@@ -1,0 +1,237 @@
+// Package rnn implements the RNN baseline of Section IV-B2 and Appendix B:
+// a two-layer LSTM whose hidden size equals the number of input features,
+// followed by a two-layer dense head, trained with Adam (α=0.01, β1=0.9,
+// β2=0.999, weight decay 5e-4) on MSE loss over standardized inputs, to
+// predict the next-step phytoplankton biomass from the current observed
+// variables. Everything — cells, backpropagation through time, and the
+// optimizer — is implemented from scratch on float64 slices.
+package rnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// gate indices.
+const (
+	gi  = iota // input gate
+	gf         // forget gate
+	gg         // candidate
+	go_        // output gate
+	ngates
+)
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// lstmLayer is one LSTM layer with concatenated-input weights: each gate
+// has a weight matrix of shape [H x (In+H)] stored row-major.
+type lstmLayer struct {
+	in, h int
+	w     [ngates][]float64
+	b     [ngates][]float64
+}
+
+func newLSTMLayer(rng *rand.Rand, in, h int) *lstmLayer {
+	l := &lstmLayer{in: in, h: h}
+	scale := 1 / math.Sqrt(float64(in+h))
+	for g := 0; g < ngates; g++ {
+		l.w[g] = make([]float64, h*(in+h))
+		for i := range l.w[g] {
+			l.w[g][i] = rng.NormFloat64() * scale
+		}
+		l.b[g] = make([]float64, h)
+	}
+	// Forget-gate bias starts at 1 (standard trick for gradient flow).
+	for i := range l.b[gf] {
+		l.b[gf][i] = 1
+	}
+	return l
+}
+
+// lstmCache holds one timestep's forward intermediates for BPTT.
+type lstmCache struct {
+	xh    []float64 // concatenated [x; h_prev]
+	gates [ngates][]float64
+	cPrev []float64
+	c     []float64
+	tanhC []float64
+	h     []float64
+}
+
+// forward computes one step; hPrev/cPrev must have length h.
+func (l *lstmLayer) forward(x, hPrev, cPrev []float64) *lstmCache {
+	ch := &lstmCache{cPrev: cPrev}
+	ch.xh = make([]float64, l.in+l.h)
+	copy(ch.xh, x)
+	copy(ch.xh[l.in:], hPrev)
+	for g := 0; g < ngates; g++ {
+		ch.gates[g] = make([]float64, l.h)
+		w := l.w[g]
+		for i := 0; i < l.h; i++ {
+			row := w[i*(l.in+l.h) : (i+1)*(l.in+l.h)]
+			s := l.b[g][i]
+			for j, v := range ch.xh {
+				s += row[j] * v
+			}
+			ch.gates[g][i] = s
+		}
+	}
+	ch.c = make([]float64, l.h)
+	ch.tanhC = make([]float64, l.h)
+	ch.h = make([]float64, l.h)
+	for i := 0; i < l.h; i++ {
+		ig := sigmoid(ch.gates[gi][i])
+		fg := sigmoid(ch.gates[gf][i])
+		gg2 := math.Tanh(ch.gates[gg][i])
+		og := sigmoid(ch.gates[go_][i])
+		ch.gates[gi][i], ch.gates[gf][i], ch.gates[gg][i], ch.gates[go_][i] = ig, fg, gg2, og
+		ch.c[i] = fg*cPrev[i] + ig*gg2
+		ch.tanhC[i] = math.Tanh(ch.c[i])
+		ch.h[i] = og * ch.tanhC[i]
+	}
+	return ch
+}
+
+// grads mirrors the layer's parameters.
+type lstmGrads struct {
+	w [ngates][]float64
+	b [ngates][]float64
+}
+
+func newLSTMGrads(l *lstmLayer) *lstmGrads {
+	g := &lstmGrads{}
+	for k := 0; k < ngates; k++ {
+		g.w[k] = make([]float64, len(l.w[k]))
+		g.b[k] = make([]float64, len(l.b[k]))
+	}
+	return g
+}
+
+// backward accumulates parameter gradients for one step and returns
+// (dx, dhPrev, dcPrev) given upstream (dh, dc).
+func (l *lstmLayer) backward(ch *lstmCache, dh, dc []float64, gr *lstmGrads) (dx, dhPrev, dcPrev []float64) {
+	hN := l.h
+	dzAll := make([][]float64, ngates)
+	for g := range dzAll {
+		dzAll[g] = make([]float64, hN)
+	}
+	dcTot := make([]float64, hN)
+	for i := 0; i < hN; i++ {
+		ig, fg, gg2, og := ch.gates[gi][i], ch.gates[gf][i], ch.gates[gg][i], ch.gates[go_][i]
+		dcTot[i] = dc[i] + dh[i]*og*(1-ch.tanhC[i]*ch.tanhC[i])
+		do := dh[i] * ch.tanhC[i]
+		dzAll[go_][i] = do * og * (1 - og)
+		df := dcTot[i] * ch.cPrev[i]
+		dzAll[gf][i] = df * fg * (1 - fg)
+		di := dcTot[i] * gg2
+		dzAll[gi][i] = di * ig * (1 - ig)
+		dg := dcTot[i] * ig
+		dzAll[gg][i] = dg * (1 - gg2*gg2)
+	}
+	dxh := make([]float64, l.in+hN)
+	for g := 0; g < ngates; g++ {
+		w := l.w[g]
+		for i := 0; i < hN; i++ {
+			dz := dzAll[g][i]
+			if dz == 0 {
+				continue
+			}
+			row := w[i*(l.in+hN) : (i+1)*(l.in+hN)]
+			gwRow := gr.w[g][i*(l.in+hN) : (i+1)*(l.in+hN)]
+			for j := range row {
+				dxh[j] += row[j] * dz
+				gwRow[j] += dz * ch.xh[j]
+			}
+			gr.b[g][i] += dz
+		}
+	}
+	dcPrev = make([]float64, hN)
+	for i := 0; i < hN; i++ {
+		dcPrev[i] = dcTot[i] * ch.gates[gf][i]
+	}
+	return dxh[:l.in], dxh[l.in:], dcPrev
+}
+
+// dense is a fully connected layer.
+type dense struct {
+	in, out int
+	w, b    []float64
+}
+
+func newDense(rng *rand.Rand, in, out int) *dense {
+	d := &dense{in: in, out: out, w: make([]float64, in*out), b: make([]float64, out)}
+	scale := 1 / math.Sqrt(float64(in))
+	for i := range d.w {
+		d.w[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+func (d *dense) forward(x []float64) []float64 {
+	out := make([]float64, d.out)
+	for i := 0; i < d.out; i++ {
+		s := d.b[i]
+		row := d.w[i*d.in : (i+1)*d.in]
+		for j, v := range x {
+			s += row[j] * v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// backward accumulates grads and returns dx.
+func (d *dense) backward(x, dout []float64, gw, gb []float64) []float64 {
+	dx := make([]float64, d.in)
+	for i := 0; i < d.out; i++ {
+		g := dout[i]
+		if g == 0 {
+			continue
+		}
+		row := d.w[i*d.in : (i+1)*d.in]
+		gwRow := gw[i*d.in : (i+1)*d.in]
+		for j := range row {
+			dx[j] += row[j] * g
+			gwRow[j] += g * x[j]
+		}
+		gb[i] += g
+	}
+	return dx
+}
+
+// adam is the Adam optimizer state for one parameter tensor.
+type adam struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adam { return &adam{m: make([]float64, n), v: make([]float64, n)} }
+
+// adamCfg bundles the optimizer hyperparameters of Appendix B.
+type adamCfg struct {
+	lr, beta1, beta2, eps, wd float64
+}
+
+func (a *adam) step(p, g []float64, c adamCfg) {
+	a.t++
+	b1t := 1 - math.Pow(c.beta1, float64(a.t))
+	b2t := 1 - math.Pow(c.beta2, float64(a.t))
+	for i := range p {
+		gi2 := g[i] + c.wd*p[i]
+		a.m[i] = c.beta1*a.m[i] + (1-c.beta1)*gi2
+		a.v[i] = c.beta2*a.v[i] + (1-c.beta2)*gi2*gi2
+		mh := a.m[i] / b1t
+		vh := a.v[i] / b2t
+		p[i] -= c.lr * mh / (math.Sqrt(vh) + c.eps)
+		g[i] = 0
+	}
+}
+
+// sanity check at build time that gate count is what backward assumes.
+var _ = func() struct{} {
+	if ngates != 4 {
+		panic(fmt.Sprint("rnn: unexpected gate count ", ngates))
+	}
+	return struct{}{}
+}()

@@ -1,0 +1,271 @@
+package rnn
+
+import (
+	"fmt"
+	"math"
+
+	"gmr/internal/stats"
+)
+
+// Config mirrors the paper's RNN setup (Appendix B).
+type Config struct {
+	// Hidden is the LSTM hidden size; zero means the number of input
+	// features (the paper's choice).
+	Hidden int
+	// Layers is the number of stacked LSTM layers; zero means 2.
+	Layers int
+	// Epochs is the number of full-sequence training passes; zero means
+	// 150 (the paper trains up to 1000; the default trades a little
+	// accuracy for laptop-scale runtime — raise it via flags for
+	// paper-scale runs).
+	Epochs int
+	// LR, Beta1, Beta2, WeightDecay are Adam hyperparameters; zero
+	// values mean the paper's 0.01, 0.9, 0.999, 0.0005.
+	LR, Beta1, Beta2, WeightDecay float64
+	// ClipNorm bounds the global gradient norm per epoch; zero means 5.
+	ClipNorm float64
+	// Seed initializes the weights.
+	Seed int64
+}
+
+func (c Config) withDefaults(features int) Config {
+	if c.Hidden == 0 {
+		c.Hidden = features
+	}
+	if c.Layers == 0 {
+		c.Layers = 2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 150
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Beta1 == 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 == 0 {
+		c.Beta2 = 0.999
+	}
+	if c.WeightDecay == 0 {
+		c.WeightDecay = 0.0005
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	return c
+}
+
+// Model is a trained LSTM forecaster.
+type Model struct {
+	cfg    Config
+	layers []*lstmLayer
+	head1  *dense // Hidden → Hidden, tanh
+	head2  *dense // Hidden → 1
+	// Standardization of inputs and target.
+	xMean, xStd []float64
+	yMean, yStd float64
+	// TrainLoss is the final epoch's mean squared error (standardized
+	// units).
+	TrainLoss float64
+}
+
+// Train fits an LSTM on the sequence: inputs x[t] (features at time t)
+// predict y[t+1]. x and y must have equal length ≥ 8.
+func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
+	if len(x) != len(y) || len(x) < 8 {
+		return nil, fmt.Errorf("rnn: need matching x/y with at least 8 steps, got %d/%d", len(x), len(y))
+	}
+	features := len(x[0])
+	cfg = cfg.withDefaults(features)
+	rng := stats.NewRand(cfg.Seed)
+
+	m := &Model{cfg: cfg}
+	// Standardize inputs per feature and the target.
+	m.xMean = make([]float64, features)
+	m.xStd = make([]float64, features)
+	for j := 0; j < features; j++ {
+		col := make([]float64, len(x))
+		for t := range x {
+			col[t] = x[t][j]
+		}
+		_, m.xMean[j], m.xStd[j] = stats.Standardize(col)
+	}
+	_, m.yMean, m.yStd = stats.Standardize(y)
+	xs := make([][]float64, len(x))
+	for t := range x {
+		xs[t] = m.standardizeX(x[t])
+	}
+	ys := make([]float64, len(y))
+	for t := range y {
+		ys[t] = (y[t] - m.yMean) / m.yStd
+	}
+
+	in := features
+	for l := 0; l < cfg.Layers; l++ {
+		m.layers = append(m.layers, newLSTMLayer(rng, in, cfg.Hidden))
+		in = cfg.Hidden
+	}
+	m.head1 = newDense(rng, cfg.Hidden, cfg.Hidden)
+	m.head2 = newDense(rng, cfg.Hidden, 1)
+
+	// Optimizer state.
+	type tensor struct {
+		p, g []float64
+		opt  *adam
+	}
+	var tensors []tensor
+	reg := func(p []float64) []float64 {
+		g := make([]float64, len(p))
+		tensors = append(tensors, tensor{p, g, newAdam(len(p))})
+		return g
+	}
+	lgrads := make([]*lstmGrads, len(m.layers))
+	for li, l := range m.layers {
+		gr := newLSTMGrads(l)
+		lgrads[li] = gr
+		for k := 0; k < ngates; k++ {
+			tensors = append(tensors, tensor{l.w[k], gr.w[k], newAdam(len(l.w[k]))})
+			tensors = append(tensors, tensor{l.b[k], gr.b[k], newAdam(len(l.b[k]))})
+		}
+	}
+	gw1, gb1 := reg(m.head1.w), reg(m.head1.b)
+	gw2, gb2 := reg(m.head2.w), reg(m.head2.b)
+
+	acfg := adamCfg{lr: cfg.LR, beta1: cfg.Beta1, beta2: cfg.Beta2, eps: 1e-8, wd: cfg.WeightDecay}
+	T := len(xs) - 1 // predict ys[t+1] from xs[t]
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Forward over the sequence, caching everything.
+		caches := make([][]*lstmCache, len(m.layers))
+		for li := range caches {
+			caches[li] = make([]*lstmCache, T)
+		}
+		h := make([][]float64, len(m.layers))
+		c := make([]([]float64), len(m.layers))
+		for li := range m.layers {
+			h[li] = make([]float64, cfg.Hidden)
+			c[li] = make([]float64, cfg.Hidden)
+		}
+		head1In := make([][]float64, T)
+		head1Act := make([][]float64, T)
+		dys := make([]float64, T)
+		loss := 0.0
+		for t := 0; t < T; t++ {
+			cur := xs[t]
+			for li, l := range m.layers {
+				ch := l.forward(cur, h[li], c[li])
+				caches[li][t] = ch
+				h[li], c[li] = ch.h, ch.c
+				cur = ch.h
+			}
+			head1In[t] = cur
+			a := m.head1.forward(cur)
+			for i := range a {
+				a[i] = math.Tanh(a[i])
+			}
+			head1Act[t] = a
+			pred := m.head2.forward(a)[0]
+			diff := pred - ys[t+1]
+			loss += diff * diff
+			dys[t] = 2 * diff / float64(T)
+		}
+		m.TrainLoss = loss / float64(T)
+
+		// Backward through time.
+		dh := make([][]float64, len(m.layers))
+		dc := make([][]float64, len(m.layers))
+		for li := range m.layers {
+			dh[li] = make([]float64, cfg.Hidden)
+			dc[li] = make([]float64, cfg.Hidden)
+		}
+		for t := T - 1; t >= 0; t-- {
+			// Head gradients.
+			dPred := []float64{dys[t]}
+			dAct := m.head2.backward(head1Act[t], dPred, gw2, gb2)
+			for i := range dAct {
+				a := head1Act[t][i]
+				dAct[i] *= 1 - a*a
+			}
+			dTop := m.head1.backward(head1In[t], dAct, gw1, gb1)
+			// Add head contribution to the top layer's dh.
+			top := len(m.layers) - 1
+			for i := range dh[top] {
+				dh[top][i] += dTop[i]
+			}
+			// Backprop each layer top-down; dx of layer li feeds dh of
+			// layer li-1.
+			var dx []float64
+			for li := top; li >= 0; li-- {
+				if li < top {
+					for i := range dh[li] {
+						dh[li][i] += dx[i]
+					}
+				}
+				dx, dh[li], dc[li] = m.layers[li].backward(caches[li][t], dh[li], dc[li], lgrads[li])
+			}
+		}
+		// Gradient clipping by global norm.
+		var norm float64
+		for _, tn := range tensors {
+			for _, g := range tn.g {
+				norm += g * g
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > cfg.ClipNorm {
+			scale := cfg.ClipNorm / norm
+			for _, tn := range tensors {
+				for i := range tn.g {
+					tn.g[i] *= scale
+				}
+			}
+		}
+		for _, tn := range tensors {
+			tn.opt.step(tn.p, tn.g, acfg)
+		}
+	}
+	return m, nil
+}
+
+func (m *Model) standardizeX(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j := range row {
+		out[j] = (row[j] - m.xMean[j]) / m.xStd[j]
+	}
+	return out
+}
+
+// Predict runs the trained network over warmup followed by x, returning one
+// next-step prediction per row of x (in original units). warmup rows (may
+// be nil) prime the hidden state, e.g. with the tail of the training
+// window.
+func (m *Model) Predict(warmup, x [][]float64) []float64 {
+	h := make([][]float64, len(m.layers))
+	c := make([][]float64, len(m.layers))
+	for li := range m.layers {
+		h[li] = make([]float64, m.cfg.Hidden)
+		c[li] = make([]float64, m.cfg.Hidden)
+	}
+	step := func(raw []float64) float64 {
+		cur := m.standardizeX(raw)
+		for li, l := range m.layers {
+			ch := l.forward(cur, h[li], c[li])
+			h[li], c[li] = ch.h, ch.c
+			cur = ch.h
+		}
+		a := m.head1.forward(cur)
+		for i := range a {
+			a[i] = math.Tanh(a[i])
+		}
+		return m.head2.forward(a)[0]*m.yStd + m.yMean
+	}
+	for _, row := range warmup {
+		step(row)
+	}
+	out := make([]float64, len(x))
+	for t, row := range x {
+		out[t] = step(row)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package rnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGradientCheck verifies BPTT against numerical differentiation on a
+// tiny network: the single most important correctness property of a
+// hand-rolled LSTM.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const features, hidden, T = 2, 3, 5
+	layer := newLSTMLayer(rng, features, hidden)
+	head := newDense(rng, hidden, 1)
+
+	xs := make([][]float64, T)
+	ys := make([]float64, T+1)
+	for i := range xs {
+		xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		ys[i] = rng.NormFloat64()
+	}
+	ys[T] = rng.NormFloat64()
+
+	loss := func() float64 {
+		h := make([]float64, hidden)
+		c := make([]float64, hidden)
+		var sum float64
+		for tt := 0; tt < T; tt++ {
+			ch := layer.forward(xs[tt], h, c)
+			h, c = ch.h, ch.c
+			pred := head.forward(h)[0]
+			d := pred - ys[tt+1]
+			sum += d * d
+		}
+		return sum / T
+	}
+
+	// Analytic gradients.
+	gr := newLSTMGrads(layer)
+	gw := make([]float64, len(head.w))
+	gb := make([]float64, len(head.b))
+	{
+		h := make([]float64, hidden)
+		c := make([]float64, hidden)
+		caches := make([]*lstmCache, T)
+		heads := make([][]float64, T)
+		douts := make([]float64, T)
+		for tt := 0; tt < T; tt++ {
+			ch := layer.forward(xs[tt], h, c)
+			caches[tt] = ch
+			h, c = ch.h, ch.c
+			heads[tt] = h
+			pred := head.forward(h)[0]
+			douts[tt] = 2 * (pred - ys[tt+1]) / T
+		}
+		dh := make([]float64, hidden)
+		dc := make([]float64, hidden)
+		for tt := T - 1; tt >= 0; tt-- {
+			dTop := head.backward(heads[tt], []float64{douts[tt]}, gw, gb)
+			for i := range dh {
+				dh[i] += dTop[i]
+			}
+			_, dh, dc = layer.backward(caches[tt], dh, dc, gr)
+		}
+	}
+
+	// Numerical check on a sample of parameters.
+	check := func(name string, p, g []float64) {
+		const eps = 1e-6
+		for _, idx := range []int{0, len(p) / 2, len(p) - 1} {
+			orig := p[idx]
+			p[idx] = orig + eps
+			lp := loss()
+			p[idx] = orig - eps
+			lm := loss()
+			p[idx] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-g[idx]) > 1e-4*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: numerical %v vs analytic %v", name, idx, num, g[idx])
+			}
+		}
+	}
+	for k := 0; k < ngates; k++ {
+		check("w", layer.w[k], gr.w[k])
+		check("b", layer.b[k], gr.b[k])
+	}
+	check("head.w", head.w, gw)
+	check("head.b", head.b, gb)
+}
+
+// TestLearnsSyntheticPattern: the LSTM must fit a learnable nonlinear
+// sequence far better than predicting the mean.
+func TestLearnsSyntheticPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const T = 400
+	x := make([][]float64, T)
+	y := make([]float64, T)
+	phase := 0.0
+	for i := 0; i < T; i++ {
+		phase += 0.08
+		drive := math.Sin(phase)
+		x[i] = []float64{drive, math.Cos(phase), rng.NormFloat64() * 0.05}
+		// Target depends nonlinearly on the drive with a lag.
+		y[i] = 2*drive*drive + 0.5*drive + 3
+	}
+	m, err := Train(x, y, Config{Epochs: 220, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := m.Predict(nil, x[:T-1])
+	var sse, sst float64
+	mean := 0.0
+	for _, v := range y[1:] {
+		mean += v
+	}
+	mean /= float64(T - 1)
+	for i, p := range preds {
+		d := p - y[i+1]
+		sse += d * d
+		d2 := y[i+1] - mean
+		sst += d2 * d2
+	}
+	if sse > 0.25*sst {
+		t.Errorf("LSTM explained only %.1f%% of variance", 100*(1-sse/sst))
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	x := [][]float64{{1}, {2}}
+	if _, err := Train(x, []float64{1}, Config{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestTrainDeterminism(t *testing.T) {
+	x := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		x[i] = []float64{math.Sin(float64(i) / 5)}
+		y[i] = math.Cos(float64(i) / 5)
+	}
+	a, err := Train(x, y, Config{Epochs: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(x, y, Config{Epochs: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrainLoss != b.TrainLoss {
+		t.Errorf("same seed: losses %v vs %v", a.TrainLoss, b.TrainLoss)
+	}
+	pa := a.Predict(nil, x[:10])
+	pb := b.Predict(nil, x[:10])
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed, different predictions")
+		}
+	}
+}
+
+func TestPredictWarmupChangesState(t *testing.T) {
+	x := make([][]float64, 80)
+	y := make([]float64, 80)
+	for i := range x {
+		x[i] = []float64{math.Sin(float64(i) / 4), 1}
+		y[i] = math.Sin(float64(i+1) / 4)
+	}
+	m, err := Train(x, y, Config{Epochs: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := m.Predict(nil, x[40:50])
+	warm := m.Predict(x[:40], x[40:50])
+	same := true
+	for i := range cold {
+		if cold[i] != warm[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("warmup had no effect on hidden state")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults(7)
+	if c.Hidden != 7 {
+		t.Errorf("hidden defaults to features: got %d", c.Hidden)
+	}
+	if c.Layers != 2 || c.LR != 0.01 || c.Beta1 != 0.9 || c.Beta2 != 0.999 || c.WeightDecay != 0.0005 {
+		t.Error("Appendix B defaults not applied")
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("stats: singular or ill-conditioned system")
+
+// OLS solves the least-squares problem min ||X·b - y||² and returns b.
+// X is row-major with len(y) rows. It uses QR decomposition via Householder
+// reflections, which is numerically stabler than the normal equations.
+func OLS(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("stats: OLS requires matching, non-empty X and y")
+	}
+	p := len(x[0])
+	if p == 0 || n < p {
+		return nil, errors.New("stats: OLS requires at least as many rows as columns")
+	}
+	// Copy into a working matrix augmented with y.
+	a := make([][]float64, n)
+	for i := range a {
+		if len(x[i]) != p {
+			return nil, errors.New("stats: ragged design matrix")
+		}
+		a[i] = append(append(make([]float64, 0, p+1), x[i]...), y[i])
+	}
+	// Householder QR on the first p columns, applied to the augmented column.
+	for k := 0; k < p; k++ {
+		var norm float64
+		for i := k; i < n; i++ {
+			norm += a[i][k] * a[i][k]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			return nil, ErrSingular
+		}
+		if a[k][k] > 0 {
+			norm = -norm
+		}
+		// v = column - norm*e_k, normalized so v[k] stores the pivot.
+		v := make([]float64, n)
+		for i := k; i < n; i++ {
+			v[i] = a[i][k]
+		}
+		v[k] -= norm
+		var vv float64
+		for i := k; i < n; i++ {
+			vv += v[i] * v[i]
+		}
+		if vv < 1e-24 {
+			return nil, ErrSingular
+		}
+		for j := k; j <= p; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += v[i] * a[i][j]
+			}
+			f := 2 * dot / vv
+			for i := k; i < n; i++ {
+				a[i][j] -= f * v[i]
+			}
+		}
+	}
+	// Back-substitute the upper-triangular system R·b = Q'y.
+	b := make([]float64, p)
+	for k := p - 1; k >= 0; k-- {
+		s := a[k][p]
+		for j := k + 1; j < p; j++ {
+			s -= a[k][j] * b[j]
+		}
+		if math.Abs(a[k][k]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		b[k] = s / a[k][k]
+	}
+	return b, nil
+}
+
+// Predict returns X·b.
+func Predict(x [][]float64, b []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		var s float64
+		for j, v := range row {
+			s += v * b[j]
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package tag
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gmr/internal/expr"
+)
+
+// Address locates a node within an elementary tree as the sequence of child
+// indices from the root (a Gorn address). The empty address is the root.
+type Address []int
+
+// String renders the address in dotted Gorn notation ("0.1.0"); the root is
+// "ε".
+func (a Address) String() string {
+	if len(a) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(a))
+	for i, v := range a {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Equal reports whether two addresses are identical.
+func (a Address) Equal(b Address) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the address.
+func (a Address) Clone() Address { return append(Address(nil), a...) }
+
+// NodeAt returns the node at address a under root, or an error if the
+// address walks off the tree.
+func NodeAt(root *expr.Node, a Address) (*expr.Node, error) {
+	n := root
+	for depth, idx := range a {
+		if idx < 0 || idx >= len(n.Kids) {
+			return nil, fmt.Errorf("tag: address %s invalid at depth %d (node has %d children)", a, depth, len(n.Kids))
+		}
+		n = n.Kids[idx]
+	}
+	return n, nil
+}
+
+// ReplaceAt replaces the subtree at address a with repl and returns the
+// (possibly new) root. Replacing at the empty address returns repl itself.
+func ReplaceAt(root *expr.Node, a Address, repl *expr.Node) (*expr.Node, error) {
+	if len(a) == 0 {
+		return repl, nil
+	}
+	parent, err := NodeAt(root, a[:len(a)-1])
+	if err != nil {
+		return nil, err
+	}
+	idx := a[len(a)-1]
+	if idx < 0 || idx >= len(parent.Kids) {
+		return nil, fmt.Errorf("tag: address %s final index out of range", a)
+	}
+	parent.Kids[idx] = repl
+	return root, nil
+}
+
+// AdjAddresses returns the adjunction addresses of an elementary tree's
+// template: the addresses of every node carrying a non-empty Sym label.
+// Foot nodes and the root are included — adjoining at the foot of a
+// previously adjoined β is how revision chains grow. Substitution sites are
+// included too: during derivation the site's label transfers to the
+// substituted lexeme, so a lexeme argument can itself be extended by
+// adjunction (growing nested subexpressions). Addresses are returned in
+// pre-order.
+func AdjAddresses(root *expr.Node) []Address {
+	var out []Address
+	var walk func(n *expr.Node, path Address)
+	walk = func(n *expr.Node, path Address) {
+		if n.Sym != "" {
+			out = append(out, path.Clone())
+		}
+		for i, k := range n.Kids {
+			walk(k, append(path, i))
+		}
+	}
+	walk(root, Address{})
+	return out
+}
+
+// SubSiteAddresses returns the addresses of the tree's substitution sites
+// in pre-order (the order matching ElemTree.SubSiteSyms).
+func SubSiteAddresses(root *expr.Node) []Address {
+	var out []Address
+	var walk func(n *expr.Node, path Address)
+	walk = func(n *expr.Node, path Address) {
+		if n.Kind == expr.SubSite {
+			out = append(out, path.Clone())
+		}
+		for i, k := range n.Kids {
+			walk(k, append(path, i))
+		}
+	}
+	walk(root, Address{})
+	return out
+}
+
+// SymAt returns the Sym label of the node at address a under root.
+func SymAt(root *expr.Node, a Address) (string, error) {
+	n, err := NodeAt(root, a)
+	if err != nil {
+		return "", err
+	}
+	return n.Sym, nil
+}

@@ -1,0 +1,51 @@
+package tag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the derivation tree in Graphviz DOT format, in the
+// style of the paper's Figure 4: one node per elementary tree (the α root
+// and the adjoined β-trees), edges labeled with the adjunction address,
+// and the substituted lexemes listed inside each node.
+func WriteDOT(w io.Writer, d *DerivNode) error {
+	if d == nil {
+		return fmt.Errorf("tag: nil derivation tree")
+	}
+	var b strings.Builder
+	b.WriteString("digraph derivation {\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	id := 0
+	var walk func(n *DerivNode) int
+	walk = func(n *DerivNode) int {
+		my := id
+		id++
+		label := n.Elem.Name
+		if len(n.Lexemes) > 0 {
+			parts := make([]string, len(n.Lexemes))
+			for i, l := range n.Lexemes {
+				parts[i] = l.String()
+			}
+			label += "\\n[" + strings.Join(parts, ", ") + "]"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", my, escapeDOT(label))
+		for _, c := range n.Children {
+			child := walk(c)
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"@%s\"];\n", my, child, c.Addr)
+		}
+		return my
+	}
+	walk(d)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	// Restore intentional newline escapes.
+	s = strings.ReplaceAll(s, `\\n`, `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,104 @@
+// Package tag implements the tree-adjoining grammar (TAG) machinery that
+// GMR uses to represent dynamic processes and their revisions (Section
+// III-A of the paper): elementary trees (initial α-trees and auxiliary
+// β-trees), the adjoining and substitution composition operations, and
+// derivation trees in the restricted-substitution formulation, where the
+// root is an α-tree, every other node is a β-tree adjoined at an address of
+// its parent's elementary tree, and substituted α-trees (lexemes) are
+// childless and recorded in-node.
+//
+// The object-level trees are expression trees from package expr; a node's
+// Sym label marks it as an adjunction address, the expr.SubSite kind marks
+// open substitution sites (↓), and expr.Foot marks the foot node (*).
+package tag
+
+import (
+	"fmt"
+
+	"gmr/internal/expr"
+)
+
+// TreeKind distinguishes initial from auxiliary elementary trees.
+type TreeKind uint8
+
+const (
+	// Alpha is an initial tree: no foot node.
+	Alpha TreeKind = iota
+	// Beta is an auxiliary tree: exactly one foot node, labeled with the
+	// same symbol as the tree's root.
+	Beta
+)
+
+func (k TreeKind) String() string {
+	if k == Alpha {
+		return "α"
+	}
+	return "β"
+}
+
+// ElemTree is an elementary tree of the grammar. The Root expression is a
+// template: it is cloned whenever the tree participates in a derivation, so
+// a single ElemTree may be shared freely.
+type ElemTree struct {
+	// Name identifies the tree in diagnostics and analyses (e.g.
+	// "conn:Ext1:+:Vph").
+	Name string
+	Kind TreeKind
+	// RootSym is the symbol of the tree's root. For Beta trees the foot
+	// node carries the same symbol.
+	RootSym string
+	Root    *expr.Node
+}
+
+// Validate checks the elementary-tree invariants: the root carries RootSym;
+// an α-tree has no foot node; a β-tree has exactly one foot node whose
+// symbol equals RootSym.
+func (t *ElemTree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("tag: %s tree %q has nil root", t.Kind, t.Name)
+	}
+	if t.RootSym == "" {
+		return fmt.Errorf("tag: %s tree %q has empty root symbol", t.Kind, t.Name)
+	}
+	if t.Root.Sym != t.RootSym {
+		return fmt.Errorf("tag: %s tree %q root labeled %q, want %q", t.Kind, t.Name, t.Root.Sym, t.RootSym)
+	}
+	feet := 0
+	var footSym string
+	t.Root.Walk(func(n *expr.Node) bool {
+		if n.Kind == expr.Foot {
+			feet++
+			footSym = n.Sym
+		}
+		return true
+	})
+	switch t.Kind {
+	case Alpha:
+		if feet != 0 {
+			return fmt.Errorf("tag: α tree %q has %d foot nodes", t.Name, feet)
+		}
+	case Beta:
+		if feet != 1 {
+			return fmt.Errorf("tag: β tree %q has %d foot nodes, want 1", t.Name, feet)
+		}
+		if footSym != t.RootSym {
+			return fmt.Errorf("tag: β tree %q foot labeled %q, want %q", t.Name, footSym, t.RootSym)
+		}
+	default:
+		return fmt.Errorf("tag: tree %q has unknown kind %d", t.Name, t.Kind)
+	}
+	return nil
+}
+
+// SubSiteSyms returns the symbols of the tree's substitution sites in
+// pre-order. The returned order is the order lexemes must be supplied in.
+func (t *ElemTree) SubSiteSyms() []string {
+	var syms []string
+	t.Root.Walk(func(n *expr.Node) bool {
+		if n.Kind == expr.SubSite {
+			syms = append(syms, n.Sym)
+		}
+		return true
+	})
+	return syms
+}

@@ -1,0 +1,96 @@
+package tag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gmr/internal/expr"
+)
+
+// This file implements derivation-tree serialization: a revised model can
+// be saved as JSON and reloaded against the same grammar, enabling
+// train-once / deploy-later workflows (cmd/gmr -save / -load).
+//
+// Elementary trees are referenced by name, so decoding requires the
+// grammar that produced the tree; lexemes are stored as canonical
+// expression strings.
+
+type derivJSON struct {
+	Elem     string       `json:"elem"`
+	Addr     []int        `json:"addr,omitempty"`
+	Lexemes  []string     `json:"lexemes,omitempty"`
+	Children []*derivJSON `json:"children,omitempty"`
+}
+
+func toJSON(d *DerivNode) *derivJSON {
+	j := &derivJSON{Elem: d.Elem.Name, Addr: d.Addr}
+	for _, l := range d.Lexemes {
+		j.Lexemes = append(j.Lexemes, l.String())
+	}
+	for _, c := range d.Children {
+		j.Children = append(j.Children, toJSON(c))
+	}
+	return j
+}
+
+// Encode writes the derivation tree as JSON.
+func Encode(w io.Writer, d *DerivNode) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSON(d))
+}
+
+// elemIndex builds a name→tree lookup over a grammar's elementary trees.
+func (g *Grammar) elemIndex() map[string]*ElemTree {
+	idx := map[string]*ElemTree{}
+	for _, t := range g.Alphas {
+		idx[t.Name] = t
+	}
+	for _, ts := range g.Betas {
+		for _, t := range ts {
+			idx[t.Name] = t
+		}
+	}
+	return idx
+}
+
+func fromJSON(j *derivJSON, idx map[string]*ElemTree) (*DerivNode, error) {
+	elem, ok := idx[j.Elem]
+	if !ok {
+		return nil, fmt.Errorf("tag: decode: unknown elementary tree %q", j.Elem)
+	}
+	d := &DerivNode{Elem: elem, Addr: append(Address(nil), j.Addr...)}
+	for i, src := range j.Lexemes {
+		lex, err := expr.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("tag: decode: lexeme %d of %q: %v", i, j.Elem, err)
+		}
+		d.Lexemes = append(d.Lexemes, lex)
+	}
+	for _, cj := range j.Children {
+		c, err := fromJSON(cj, idx)
+		if err != nil {
+			return nil, err
+		}
+		d.Children = append(d.Children, c)
+	}
+	return d, nil
+}
+
+// Decode reads a derivation tree encoded by Encode, resolving elementary
+// trees by name against the grammar, and validates the result.
+func (g *Grammar) Decode(r io.Reader) (*DerivNode, error) {
+	var j derivJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("tag: decode: %v", err)
+	}
+	d, err := fromJSON(&j, g.elemIndex())
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("tag: decode: invalid derivation: %v", err)
+	}
+	return d, nil
+}

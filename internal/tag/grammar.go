@@ -1,0 +1,199 @@
+package tag
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmr/internal/expr"
+)
+
+// LexemeGen produces a random lexeme (a childless, completed α-tree in the
+// restricted formulation — typically a variable leaf or a random constant)
+// for one substitution-site symbol.
+type LexemeGen func(rng *rand.Rand) *LexemeChoice
+
+// LexemeChoice is one generated lexeme along with the name it is reported
+// under in analyses (e.g. "Vph" or "R").
+type LexemeChoice struct {
+	Name string
+	Tree *expr.Node
+}
+
+// Grammar bundles the elementary trees and lexeme generators that define
+// the search space of revisions: the α-trees encoding plausible processes,
+// the β-trees encoding plausible revisions (connectors and extenders), and
+// a lexeme generator per substitution-site symbol.
+type Grammar struct {
+	// Alphas are the initial trees; derivations start from one of these.
+	Alphas []*ElemTree
+	// Betas maps a root symbol to the auxiliary trees that can adjoin at
+	// addresses carrying that symbol.
+	Betas map[string][]*ElemTree
+	// Lexemes maps a substitution-site symbol to its lexeme generator.
+	Lexemes map[string]LexemeGen
+}
+
+// Validate checks every elementary tree and that each substitution-site
+// symbol appearing in any tree has a lexeme generator.
+func (g *Grammar) Validate() error {
+	if len(g.Alphas) == 0 {
+		return fmt.Errorf("tag: grammar has no α-trees")
+	}
+	check := func(t *ElemTree) error {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		for _, sym := range t.SubSiteSyms() {
+			if _, ok := g.Lexemes[sym]; !ok {
+				return fmt.Errorf("tag: tree %q has substitution site %q with no lexeme generator", t.Name, sym)
+			}
+		}
+		return nil
+	}
+	for _, t := range g.Alphas {
+		if t.Kind != Alpha {
+			return fmt.Errorf("tag: tree %q listed as α but has kind %s", t.Name, t.Kind)
+		}
+		if err := check(t); err != nil {
+			return err
+		}
+	}
+	for sym, bs := range g.Betas {
+		for _, t := range bs {
+			if t.Kind != Beta {
+				return fmt.Errorf("tag: tree %q listed as β but has kind %s", t.Name, t.Kind)
+			}
+			if t.RootSym != sym {
+				return fmt.Errorf("tag: β tree %q registered under %q but has root symbol %q", t.Name, sym, t.RootSym)
+			}
+			if err := check(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NewNode creates a derivation node for elem at the given address, drawing
+// fresh random lexemes for every substitution site of elem.
+func (g *Grammar) NewNode(rng *rand.Rand, elem *ElemTree, addr Address) (*DerivNode, error) {
+	n := &DerivNode{Elem: elem, Addr: addr.Clone()}
+	for _, sym := range elem.SubSiteSyms() {
+		gen, ok := g.Lexemes[sym]
+		if !ok {
+			return nil, fmt.Errorf("tag: no lexeme generator for site symbol %q", sym)
+		}
+		n.Lexemes = append(n.Lexemes, gen(rng).Tree)
+	}
+	return n, nil
+}
+
+// Insert grows the derivation tree by one node: it picks a random open
+// adjunction address whose symbol has at least one registered β-tree,
+// attaches a random compatible β there with fresh lexemes, and returns the
+// new node. It returns nil (and no error) when the tree has no growable
+// address.
+func (g *Grammar) Insert(rng *rand.Rand, root *DerivNode) (*DerivNode, error) {
+	open := root.OpenAddresses()
+	// Filter to addresses we can actually grow at.
+	growable := open[:0]
+	for _, oa := range open {
+		if len(g.Betas[oa.Sym]) > 0 {
+			growable = append(growable, oa)
+		}
+	}
+	if len(growable) == 0 {
+		return nil, nil
+	}
+	oa := growable[rng.Intn(len(growable))]
+	bs := g.Betas[oa.Sym]
+	elem := bs[rng.Intn(len(bs))]
+	child, err := g.NewNode(rng, elem, oa.Addr)
+	if err != nil {
+		return nil, err
+	}
+	oa.Node.Children = append(oa.Node.Children, child)
+	return child, nil
+}
+
+// Delete removes a random leaf derivation node (never the root). It returns
+// false when the tree consists of only the root.
+func Delete(rng *rand.Rand, root *DerivNode) bool {
+	type slot struct {
+		parent *DerivNode
+		idx    int
+	}
+	var leaves []slot
+	root.Walk(func(n, _ *DerivNode) bool {
+		for i, c := range n.Children {
+			if len(c.Children) == 0 {
+				leaves = append(leaves, slot{n, i})
+			}
+		}
+		return true
+	})
+	if len(leaves) == 0 {
+		return false
+	}
+	s := leaves[rng.Intn(len(leaves))]
+	s.parent.Children = append(s.parent.Children[:s.idx], s.parent.Children[s.idx+1:]...)
+	return true
+}
+
+// RandomDeriv builds a random derivation tree for population initialization
+// (Section III-B2): choose a random α-tree, pick a target size uniformly in
+// [minSize, maxSize], and repeatedly adjoin random β-trees at random open
+// addresses until the target is reached or the tree cannot grow further.
+func (g *Grammar) RandomDeriv(rng *rand.Rand, minSize, maxSize int) (*DerivNode, error) {
+	if len(g.Alphas) == 0 {
+		return nil, fmt.Errorf("tag: grammar has no α-trees")
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+	alpha := g.Alphas[rng.Intn(len(g.Alphas))]
+	root, err := g.NewNode(rng, alpha, nil)
+	if err != nil {
+		return nil, err
+	}
+	target := minSize + rng.Intn(maxSize-minSize+1)
+	for root.Size() < target {
+		child, err := g.Insert(rng, root)
+		if err != nil {
+			return nil, err
+		}
+		if child == nil {
+			break // no growable address left
+		}
+	}
+	return root, nil
+}
+
+// GrowSubtree builds a random derivation subtree rooted at a β-tree with
+// the given root symbol and containing at most budget nodes. It is used by
+// subtree mutation to regrow material of similar size. It returns nil when
+// no β-tree exists for sym.
+func (g *Grammar) GrowSubtree(rng *rand.Rand, sym string, addr Address, budget int) (*DerivNode, error) {
+	bs := g.Betas[sym]
+	if len(bs) == 0 {
+		return nil, nil
+	}
+	elem := bs[rng.Intn(len(bs))]
+	root, err := g.NewNode(rng, elem, addr)
+	if err != nil {
+		return nil, err
+	}
+	for root.Size() < budget {
+		child, err := g.Insert(rng, root)
+		if err != nil {
+			return nil, err
+		}
+		if child == nil {
+			break
+		}
+	}
+	return root, nil
+}
