@@ -1,0 +1,37 @@
+# Developer targets: build, vet, test, race-test, benchmarks, and the
+# BENCH_EVAL.json hot-path snapshot. `make check` is the CI gate.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bencheval check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; this covers the
+# sharded evaluation cache, the shared compiled programs, and the
+# Workers=8 engine-determinism regression test.
+race:
+	$(GO) test -race ./...
+
+# bench runs the hot-path microbenchmarks with allocation reporting.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/expr/ ./internal/bio/ ./internal/evalx/
+
+# bencheval snapshots evaluator cold / tier-1 / tier-2 numbers and cache
+# hit rates into BENCH_EVAL.json (the README performance table's source).
+bencheval:
+	$(GO) run ./cmd/riverbench -exp bencheval
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

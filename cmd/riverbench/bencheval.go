@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"gmr/internal/bio"
+	"gmr/internal/dataset"
+	"gmr/internal/evalx"
+	"gmr/internal/gp"
+	"gmr/internal/grammar"
+)
+
+// benchEvalResult is one benchmark row of the BENCH_EVAL.json snapshot.
+type benchEvalResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchEvalCacheStats summarizes the two-tier cache behavior under a mixed
+// GP-like workload (many structures, jittered parameters).
+type benchEvalCacheStats struct {
+	Evaluations  int     `json:"evaluations"`
+	Tier1Hits    int     `json:"tier1_hits"`
+	Tier2Hits    int     `json:"tier2_hits"`
+	Derives      int     `json:"derives"`
+	Compiles     int     `json:"compiles"`
+	Tier1HitRate float64 `json:"tier1_hit_rate"`
+	Tier2HitRate float64 `json:"tier2_hit_rate"`
+}
+
+type benchEvalSnapshot struct {
+	GoVersion  string              `json:"go_version"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Benchmarks []benchEvalResult   `json:"benchmarks"`
+	Cache      benchEvalCacheStats `json:"cache"`
+}
+
+// runBenchEval measures the evaluator hot path in the three regimes of the
+// two-tier cache (cold, tier-1 hit, tier-2 hit) plus the simulation inner
+// loop, and snapshots ns/op, bytes/op, allocs/op, and cache hit rates into
+// outPath as JSON. The same numbers back the README performance table.
+func runBenchEval(ds *dataset.Dataset, outPath string) error {
+	forcing, obs := ds.TrainForcing(), ds.TrainObsPhy()
+	consts := bio.DefaultConstants()
+	simCfg := bio.SimConfig{SubSteps: 2, Phy0: obs[0], Zoo0: 1.5}
+
+	g, err := grammar.River(grammar.DefaultExtensions())
+	if err != nil {
+		return err
+	}
+	means := bio.Means(consts)
+	newInds := func(n int, seed int64) []*gp.Individual {
+		rng := rand.New(rand.NewSource(seed))
+		inds := make([]*gp.Individual, n)
+		for i := range inds {
+			d, err := g.RandomDeriv(rng, 4, 18)
+			if err != nil {
+				// RandomDeriv failure is a programming error at these bounds.
+				panic(err)
+			}
+			inds[i] = gp.NewIndividual(d, means)
+		}
+		return inds
+	}
+	newEval := func(useCache bool) *evalx.Evaluator {
+		return evalx.New(forcing, obs, consts, evalx.Options{
+			UseCache: useCache, UseCompile: true, Simplify: true, Sim: simCfg,
+		})
+	}
+
+	var snap benchEvalSnapshot
+	snap.GoVersion = runtime.Version()
+	snap.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	record := func(name string, r testing.BenchmarkResult) {
+		snap.Benchmarks = append(snap.Benchmarks, benchEvalResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Printf("  %-22s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	fmt.Println("benchmarking evaluator hot path (see BENCH_EVAL.json)...")
+
+	// Cold: full derive → simplify → bind → compile → simulate pipeline.
+	record("evaluate_cold", testing.Benchmark(func(b *testing.B) {
+		inds := newInds(64, 11)
+		ev := newEval(false)
+		ev.BeginBatch()
+		defer ev.EndBatch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ind := inds[i%len(inds)]
+			ind.Invalidate()
+			ev.Evaluate(ind)
+		}
+	}))
+
+	// Tier-1 hit: known structure, fresh parameters — re-simulate only.
+	record("evaluate_tier1_hit", testing.Benchmark(func(b *testing.B) {
+		inds := newInds(1, 13)
+		ev := newEval(true)
+		ev.BeginBatch()
+		defer ev.EndBatch()
+		warm := inds[0]
+		ev.Evaluate(warm)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			warm.Params[0] = 0.1 + float64(i)*1e-9
+			warm.Invalidate()
+			ev.Evaluate(warm)
+		}
+	}))
+
+	// Tier-2 hit: identical (structure, params) — pure cache lookup.
+	record("evaluate_tier2_hit", testing.Benchmark(func(b *testing.B) {
+		inds := newInds(1, 12)
+		ev := newEval(true)
+		ev.BeginBatch()
+		defer ev.EndBatch()
+		warm := inds[0]
+		ev.Evaluate(warm)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			warm.Invalidate()
+			ev.Evaluate(warm)
+		}
+	}))
+
+	// Simulation inner loop with reused scratch (what a tier-1 hit pays).
+	record("bio_run_buf", testing.Benchmark(func(b *testing.B) {
+		phy, zoo, bconsts, err := bio.ManualSystem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := bio.NewCompiledSystem(phy, zoo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := bio.Means(bconsts)
+		var sc bio.SimScratch
+		sys.RunBuf(forcing, params, simCfg, &sc, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.RunBuf(forcing, params, simCfg, &sc, nil)
+		}
+	}))
+
+	// Mixed GP-like workload for cache hit rates: a population of
+	// structures re-evaluated across rounds, parameters jittered in half
+	// of the evaluations (tier-2 misses that stay tier-1 hits).
+	{
+		inds := newInds(96, 21)
+		ev := newEval(true)
+		rng := rand.New(rand.NewSource(5))
+		ev.BeginBatch()
+		for round := 0; round < 4; round++ {
+			for _, ind := range inds {
+				c := ind.Clone()
+				if round > 0 && rng.Float64() < 0.5 {
+					c.Params[rng.Intn(len(c.Params))] *= 1 + rng.Float64()*1e-6
+				}
+				c.Invalidate()
+				ev.Evaluate(c)
+			}
+		}
+		ev.EndBatch()
+		st := ev.Stats()
+		snap.Cache = benchEvalCacheStats{
+			Evaluations:  st.Evaluations,
+			Tier1Hits:    st.Tier1Hits,
+			Tier2Hits:    st.CacheHits,
+			Derives:      st.Derives,
+			Compiles:     st.Compiles,
+			Tier1HitRate: float64(st.Tier1Hits) / float64(st.Evaluations),
+			Tier2HitRate: float64(st.CacheHits) / float64(st.Evaluations),
+		}
+		fmt.Printf("  mixed workload: %d evals, tier-1 hit rate %.2f, tier-2 hit rate %.2f, %d compiles\n",
+			st.Evaluations, snap.Cache.Tier1HitRate, snap.Cache.Tier2HitRate, st.Compiles)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+	return nil
+}

@@ -5,10 +5,16 @@
 //	riverbench -exp fig9
 //	riverbench -exp fig10 [-pop 60]
 //	riverbench -exp fig11
+//	riverbench -exp bencheval [-bench-out BENCH_EVAL.json]
 //	riverbench -exp all
 //
 // Rows are printed in the paper's layout so results can be compared side by
 // side with Table V and Figures 1, 9, 10, and 11 (see EXPERIMENTS.md).
+// -exp bencheval snapshots the evaluator hot-path benchmarks (cold /
+// tier-1 hit / tier-2 hit, plus cache hit rates) into a JSON file.
+//
+// Profiling: -cpuprofile and -memprofile write pprof files for any
+// experiment; -pprof ADDR serves net/http/pprof for live inspection.
 package main
 
 import (
@@ -23,13 +29,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "tablev", "experiment: tablev, fig9, fig10, fig11, ablation, or all")
-		scale   = flag.String("scale", "small", "budget scale: small, medium, or paper")
-		seed    = flag.Int64("seed", 1, "master seed (dataset uses seed, methods use derived seeds)")
-		dsSeed  = flag.Int64("data-seed", 7, "synthetic dataset seed")
-		methods = flag.String("methods", "", "comma-separated Table V method filter (empty = all)")
-		pop     = flag.Int("pop", 60, "fig10 workload size (individuals)")
-		md      = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables (for EXPERIMENTS.md)")
+		exp      = flag.String("exp", "tablev", "experiment: tablev, fig9, fig10, fig11, ablation, bencheval, or all")
+		scale    = flag.String("scale", "small", "budget scale: small, medium, or paper")
+		seed     = flag.Int64("seed", 1, "master seed (dataset uses seed, methods use derived seeds)")
+		dsSeed   = flag.Int64("data-seed", 7, "synthetic dataset seed")
+		methods  = flag.String("methods", "", "comma-separated Table V method filter (empty = all)")
+		pop      = flag.Int("pop", 60, "fig10 workload size (individuals)")
+		md       = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables (for EXPERIMENTS.md)")
+		benchOut = flag.String("bench-out", "BENCH_EVAL.json", "output path for the -exp bencheval snapshot")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -38,6 +48,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	if err := startProfiles(*cpuProf, *memProf, *pprofSrv); err != nil {
+		fatal(err)
+	}
+	defer profileStop()
 	fmt.Printf("generating synthetic Nakdong dataset (seed %d)...\n", *dsSeed)
 	ds, err := experiments.DefaultDataset(*dsSeed)
 	if err != nil {
@@ -182,19 +196,28 @@ func main() {
 		runFig11()
 	case "ablation":
 		runAblation()
+	case "bencheval":
+		if err := runBenchEval(ds, *benchOut); err != nil {
+			fatal(err)
+		}
 	case "all":
 		runTableV()
 		runFig9()
 		runFig10()
 		runFig11()
 		runAblation()
+		if err := runBenchEval(ds, *benchOut); err != nil {
+			fatal(err)
+		}
 	default:
+		profileStop()
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
 }
 
 func fatal(err error) {
+	profileStop()
 	fmt.Fprintln(os.Stderr, "riverbench:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileStop flushes any active profilers; fatal and main both call it so
+// profiles survive error exits. Replaced by startProfiles.
+var profileStop = func() {}
+
+// startProfiles enables the requested profilers: a CPU profile covering
+// the rest of the run, a heap profile written at exit (after a final GC),
+// and an optional net/http/pprof endpoint for live inspection. Empty
+// arguments disable the corresponding profiler.
+func startProfiles(cpu, mem, addr string) error {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "riverbench: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize reachable heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "riverbench: memprofile:", err)
+			}
+			f.Close()
+		})
+	}
+	if addr != "" {
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "riverbench: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof server listening on http://%s/debug/pprof/\n", addr)
+	}
+	profileStop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		profileStop = func() {}
+	}
+	return nil
+}

@@ -15,7 +15,8 @@ type RHS interface {
 
 // TreeRHS interprets a bound expression tree directly. It is the slow path
 // that "runtime compilation" replaces; kept as the Fig 10 baseline and as a
-// reference implementation.
+// reference implementation. Evaluation never mutates the tree, so a TreeRHS
+// is safe for concurrent use.
 type TreeRHS struct {
 	Node *expr.Node
 }
@@ -31,7 +32,9 @@ func (t TreeRHS) Eval(vars, params []float64) float64 {
 }
 
 // CompiledRHS runs a compiled bytecode program with a reusable stack. A
-// CompiledRHS is NOT safe for concurrent use; create one per goroutine.
+// CompiledRHS is NOT safe for concurrent use; create one per goroutine (or
+// share the underlying immutable Program via SharedSystem and per-goroutine
+// SimScratch stacks).
 type CompiledRHS struct {
 	Prog  *expr.Program
 	stack []float64
@@ -66,22 +69,64 @@ type SimConfig struct {
 	// Phy0 and Zoo0 are the initial biomasses.
 	Phy0, Zoo0 float64
 	// ClampMin and ClampMax bound both state variables after every
-	// substep, preventing runaway growth of hostile revisions. Zero
-	// values mean 1e-3 and 1e5.
+	// substep, preventing runaway growth of hostile revisions.
+	//
+	// Sentinel semantics: the zero value means "use the default"
+	// (ClampMin 1e-3, ClampMax 1e5) — an *explicit* bound of exactly 0
+	// cannot be expressed this way. To disable a bound, set it negative
+	// (negative-means-disabled: the bound becomes ∓Inf), or set
+	// ClampDisabled to turn off clamping entirely. An explicit zero
+	// floor is therefore spelled ClampMin: -1 (no floor) or any tiny
+	// positive value.
 	ClampMin, ClampMax float64
+	// ClampDisabled turns off biomass clamping entirely, overriding
+	// ClampMin/ClampMax. This is the escape hatch for workloads (e.g.
+	// generic ODE revision outside the river domain) where state may
+	// legitimately be zero or negative.
+	ClampDisabled bool
 }
 
 func (c SimConfig) withDefaults() SimConfig {
 	if c.SubSteps <= 0 {
 		c.SubSteps = 4
 	}
-	if c.ClampMin == 0 {
-		c.ClampMin = 1e-3
+	if c.ClampDisabled {
+		c.ClampMin, c.ClampMax = math.Inf(-1), math.Inf(1)
+		return c
 	}
-	if c.ClampMax == 0 {
+	switch {
+	case c.ClampMin == 0:
+		c.ClampMin = 1e-3 // documented sentinel: zero means default
+	case c.ClampMin < 0:
+		c.ClampMin = math.Inf(-1) // negative means no floor
+	}
+	switch {
+	case c.ClampMax == 0:
 		c.ClampMax = 1e5
+	case c.ClampMax < 0:
+		c.ClampMax = math.Inf(1) // negative means no cap
 	}
 	return c
+}
+
+// SimScratch holds the per-goroutine buffers reused across integration
+// runs: the forcing scratch row, the two bytecode evaluation stacks, and
+// the prediction buffer. The zero value is ready to use; buffers grow on
+// first use and are reused afterwards, making repeated Run calls
+// allocation-free. A SimScratch must not be shared between concurrent
+// runs.
+type SimScratch struct {
+	vars     []float64
+	phyStack []float64
+	zooStack []float64
+	preds    []float64
+}
+
+func growBuf(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
 }
 
 // Run integrates the system over the forcing series. forcing[t] is a
@@ -98,10 +143,20 @@ func (c SimConfig) withDefaults() SimConfig {
 // If the state ever becomes non-finite the run stops and the prediction for
 // that day is NaN, which downstream metrics score as +Inf error.
 func (s *System) Run(forcing [][]float64, params []float64, cfg SimConfig, perStep func(t int, bphy float64) bool) []float64 {
+	return s.RunBuf(forcing, params, cfg, &SimScratch{}, perStep)
+}
+
+// RunBuf is Run with caller-supplied scratch buffers: the forcing scratch
+// row and the prediction slice are taken from sc instead of being
+// allocated, so a reused SimScratch makes repeated runs allocation-free.
+// The returned prediction slice aliases sc and is valid until the next run
+// with the same scratch.
+func (s *System) RunBuf(forcing [][]float64, params []float64, cfg SimConfig, sc *SimScratch, perStep func(t int, bphy float64) bool) []float64 {
 	cfg = cfg.withDefaults()
-	preds := make([]float64, 0, len(forcing))
+	preds := sc.preds[:0]
 	bphy, bzoo := cfg.Phy0, cfg.Zoo0
-	scratch := make([]float64, NumVars)
+	sc.vars = growBuf(sc.vars, NumVars)
+	scratch := sc.vars
 	h := 1.0 / float64(cfg.SubSteps)
 	for t, row := range forcing {
 		copy(scratch, row)
@@ -114,6 +169,7 @@ func (s *System) Run(forcing [][]float64, params []float64, cfg SimConfig, perSt
 			bzoo += h * dZoo
 			if math.IsNaN(bphy) || math.IsNaN(bzoo) {
 				preds = append(preds, math.NaN())
+				sc.preds = preds
 				return preds
 			}
 			bphy = clamp(bphy, cfg.ClampMin, cfg.ClampMax)
@@ -121,9 +177,11 @@ func (s *System) Run(forcing [][]float64, params []float64, cfg SimConfig, perSt
 		}
 		preds = append(preds, bphy)
 		if perStep != nil && !perStep(t, bphy) {
+			sc.preds = preds
 			return preds
 		}
 	}
+	sc.preds = preds
 	return preds
 }
 
@@ -140,6 +198,76 @@ func clamp(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
+}
+
+// SharedSystem is the concurrency-friendly compiled form of a System: it
+// holds only the two immutable bytecode programs, so one SharedSystem can
+// be cached once per model structure and evaluated by many goroutines at
+// once, each bringing its own SimScratch (this is what makes the
+// evaluator's tier-1 structure cache safe — see internal/evalx). The
+// paper's runtime-compilation trick only pays off when the compiled
+// artifact is reused; SharedSystem is the reusable artifact.
+type SharedSystem struct {
+	Phy, Zoo *expr.Program
+}
+
+// NewSharedSystem compiles both derivative trees into a shareable system.
+func NewSharedSystem(phy, zoo *expr.Node) (*SharedSystem, error) {
+	p, err := expr.Compile(phy)
+	if err != nil {
+		return nil, err
+	}
+	z, err := expr.Compile(zoo)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedSystem{Phy: p, Zoo: z}, nil
+}
+
+// Run integrates the shared system with caller-supplied scratch. Semantics
+// match System.RunBuf exactly (the Fig 10 equivalence tests rely on the
+// two paths agreeing bit for bit); the returned slice aliases sc.
+func (s *SharedSystem) Run(forcing [][]float64, params []float64, cfg SimConfig, sc *SimScratch, perStep func(t int, bphy float64) bool) []float64 {
+	cfg = cfg.withDefaults()
+	preds := sc.preds[:0]
+	bphy, bzoo := cfg.Phy0, cfg.Zoo0
+	sc.vars = growBuf(sc.vars, NumVars)
+	sc.phyStack = growBuf(sc.phyStack, s.Phy.StackSize())
+	sc.zooStack = growBuf(sc.zooStack, s.Zoo.StackSize())
+	scratch, phyStack, zooStack := sc.vars, sc.phyStack, sc.zooStack
+	h := 1.0 / float64(cfg.SubSteps)
+	for t, row := range forcing {
+		copy(scratch, row)
+		for step := 0; step < cfg.SubSteps; step++ {
+			scratch[IdxBPhy] = bphy
+			scratch[IdxBZoo] = bzoo
+			dPhy := s.Phy.EvalStack(scratch, params, phyStack)
+			dZoo := s.Zoo.EvalStack(scratch, params, zooStack)
+			bphy += h * dPhy
+			bzoo += h * dZoo
+			if math.IsNaN(bphy) || math.IsNaN(bzoo) {
+				preds = append(preds, math.NaN())
+				sc.preds = preds
+				return preds
+			}
+			bphy = clamp(bphy, cfg.ClampMin, cfg.ClampMax)
+			bzoo = clamp(bzoo, cfg.ClampMin, cfg.ClampMax)
+		}
+		preds = append(preds, bphy)
+		if perStep != nil && !perStep(t, bphy) {
+			sc.preds = preds
+			return preds
+		}
+	}
+	sc.preds = preds
+	return preds
+}
+
+// Predict is Run with fresh scratch and no per-step hook; the returned
+// slice is caller-owned.
+func (s *SharedSystem) Predict(forcing [][]float64, params []float64, cfg SimConfig) []float64 {
+	preds := s.Run(forcing, params, cfg, &SimScratch{}, nil)
+	return append([]float64(nil), preds...)
 }
 
 // NewCompiledSystem compiles both derivative trees into a System.

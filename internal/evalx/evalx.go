@@ -7,12 +7,22 @@
 //     evaluated fitness scaled by a threshold; once the extrapolated final
 //     fitness cannot beat it, evaluation stops and the extrapolation is
 //     used as a surrogate fitness.
-//   - Tree caching: fitness results are memoized, keyed on the canonical
-//     string of the algebraically simplified process (plus its constant
-//     parameters); simplification raises the hit rate.
+//   - Tree caching: a two-tier cache. Tier 1 keys on the canonical
+//     simplified *structure* and memoizes the derived+simplified+bound+
+//     compiled program pair, so re-evaluating the same structure with
+//     different constants (Gaussian mutation, local search, elite
+//     refinement) skips the whole derive→simplify→bind→compile pipeline.
+//     Tier 2 keys on (structure, params) and memoizes the fitness itself.
+//     Simplification raises the hit rate of both tiers.
 //   - Runtime compilation: derivative trees are compiled to stack-machine
 //     bytecode instead of being re-interpreted node by node (the portable
-//     equivalent of the paper's C++ emission, DESIGN.md §3).
+//     equivalent of the paper's C++ emission, DESIGN.md §3). Compiled
+//     programs are immutable and shared across goroutines; evaluation
+//     stacks live in per-goroutine scratch.
+//
+// Both cache tiers are sharded (striped locks keyed by hash) and the work
+// counters are atomics, so a large parallel batch does not serialize on a
+// single evaluator mutex.
 //
 // The Evaluator implements gp.Evaluator with deterministic batch semantics:
 // the short-circuiting reference fitness is frozen for the duration of a
@@ -25,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gmr/internal/bio"
 	"gmr/internal/expr"
@@ -53,7 +64,8 @@ func Pessimistic(intermediate float64, i, n int) float64 {
 
 // Options selects the speedups and the simulation regime.
 type Options struct {
-	// UseCache enables tree caching.
+	// UseCache enables the two-tier tree cache (structure tier +
+	// fitness tier).
 	UseCache bool
 	// UseShortCircuit enables evaluation short-circuiting.
 	UseShortCircuit bool
@@ -96,12 +108,16 @@ func AllSpeedups(sim bio.SimConfig) Options {
 	return Options{UseCache: true, UseShortCircuit: true, UseCompile: true, Simplify: true, Sim: sim}
 }
 
-// Stats counts evaluator work for the Fig 10/11 analyses.
+// Stats counts evaluator work for the Fig 10/11 analyses and the cache
+// telemetry of the two-tier evaluation cache.
 type Stats struct {
 	Evaluations    int // Evaluate calls
 	FullEvals      int // evaluations that ran every fitness case
 	ShortCircuits  int // evaluations stopped early
-	CacheHits      int
+	CacheHits      int // tier-2 hits: (structure, params) fitness served from cache
+	Tier1Hits      int // tier-1 hits: compiled structure served from cache
+	Derives        int // derive→simplify pipeline executions
+	Compiles       int // structure builds (bind + compile)
 	StepsEvaluated int // total fitness cases actually simulated
 	StepsPossible  int // fitness cases that full evaluation would cost
 }
@@ -112,8 +128,51 @@ func (s *Stats) Add(o Stats) {
 	s.FullEvals += o.FullEvals
 	s.ShortCircuits += o.ShortCircuits
 	s.CacheHits += o.CacheHits
+	s.Tier1Hits += o.Tier1Hits
+	s.Derives += o.Derives
+	s.Compiles += o.Compiles
 	s.StepsEvaluated += o.StepsEvaluated
 	s.StepsPossible += o.StepsPossible
+}
+
+// counters is the lock-free internal form of Stats: every field is an
+// atomic so concurrent Evaluate calls never contend on a stats mutex.
+type counters struct {
+	evaluations    atomic.Int64
+	fullEvals      atomic.Int64
+	shortCircuits  atomic.Int64
+	cacheHits      atomic.Int64
+	tier1Hits      atomic.Int64
+	derives        atomic.Int64
+	compiles       atomic.Int64
+	stepsEvaluated atomic.Int64
+	stepsPossible  atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Evaluations:    int(c.evaluations.Load()),
+		FullEvals:      int(c.fullEvals.Load()),
+		ShortCircuits:  int(c.shortCircuits.Load()),
+		CacheHits:      int(c.cacheHits.Load()),
+		Tier1Hits:      int(c.tier1Hits.Load()),
+		Derives:        int(c.derives.Load()),
+		Compiles:       int(c.compiles.Load()),
+		StepsEvaluated: int(c.stepsEvaluated.Load()),
+		StepsPossible:  int(c.stepsPossible.Load()),
+	}
+}
+
+func (c *counters) reset() {
+	c.evaluations.Store(0)
+	c.fullEvals.Store(0)
+	c.shortCircuits.Store(0)
+	c.cacheHits.Store(0)
+	c.tier1Hits.Store(0)
+	c.derives.Store(0)
+	c.compiles.Store(0)
+	c.stepsEvaluated.Store(0)
+	c.stepsPossible.Store(0)
 }
 
 // Evaluator scores gp.Individuals by simulating their revised process over
@@ -124,68 +183,126 @@ type Evaluator struct {
 	obs     []float64
 	consts  []bio.Constant
 	opts    Options
+	// keyTag prefixes every structure key with the simplify mode ('s'
+	// or 'r'), so a key memoized on an individual by a
+	// differently-configured evaluator can never alias an entry in this
+	// evaluator's caches.
+	keyTag byte
 
-	mu           sync.Mutex
-	cache        map[string]cacheEntry
+	shards [cacheShards]cacheShard
+	ctr    counters
+
+	// frozenBits is the short-circuiting reference for the current
+	// batch (math.Float64bits), written only at batch boundaries and
+	// read on every evaluation.
+	frozenBits atomic.Uint64
+
+	batchMu      sync.Mutex
 	bestPrevFull float64 // committed reference (updated at batch ends)
-	frozenBest   float64 // reference used during the current batch
 	pendingBest  float64 // best full fitness seen in the current batch
-	stats        Stats
+
+	scratch sync.Pool // of *evalScratch
 }
 
+// evalScratch is the per-goroutine reusable state of one evaluation: the
+// simulator buffers and the cache-key builder.
+type evalScratch struct {
+	sim bio.SimScratch
+	key []byte
+}
+
+// cacheEntry is a tier-2 record: the memoized fitness of one
+// (structure, params) pair.
 type cacheEntry struct {
 	fitness float64
 	full    bool
+}
+
+// structEntry is a tier-1 record: the executable form of one canonical
+// structure, shared by all evaluations of that structure.
+type structEntry struct {
+	shared *bio.SharedSystem // compiled (UseCompile); immutable, concurrent-safe
+	tree   *bio.System       // interpreted fallback; TreeRHS is concurrent-safe
+	bad    bool              // structure failed to bind or compile
+}
+
+// cacheShards stripes both cache tiers; must be a power of two.
+const cacheShards = 64
+
+type cacheShard struct {
+	mu      sync.Mutex
+	structs map[string]*structEntry
+	fits    map[string]cacheEntry
+}
+
+// fnv1a64 over a string (inlined to avoid hash.Hash64 allocations).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // New builds an evaluator over the training window. forcing rows use the
 // bio variable layout; obs is the observed phytoplankton biomass.
 func New(forcing [][]float64, obs []float64, consts []bio.Constant, opts Options) *Evaluator {
 	o := opts.withDefaults()
-	return &Evaluator{
+	e := &Evaluator{
 		forcing:      forcing,
 		obs:          obs,
 		consts:       consts,
 		opts:         o,
-		cache:        map[string]cacheEntry{},
+		keyTag:       'r',
 		bestPrevFull: math.Inf(1),
-		frozenBest:   math.Inf(1),
 		pendingBest:  math.Inf(1),
 	}
+	if o.Simplify {
+		e.keyTag = 's'
+	}
+	for i := range e.shards {
+		e.shards[i].structs = map[string]*structEntry{}
+		e.shards[i].fits = map[string]cacheEntry{}
+	}
+	e.frozenBits.Store(math.Float64bits(math.Inf(1)))
+	e.scratch.New = func() any { return &evalScratch{} }
+	return e
 }
 
 // BeginBatch freezes the short-circuiting reference for a deterministic
 // parallel batch.
 func (e *Evaluator) BeginBatch() {
-	e.mu.Lock()
-	e.frozenBest = e.bestPrevFull
+	e.batchMu.Lock()
 	e.pendingBest = math.Inf(1)
-	e.mu.Unlock()
+	e.frozenBits.Store(math.Float64bits(e.bestPrevFull))
+	e.batchMu.Unlock()
 }
 
 // EndBatch commits the best fully evaluated fitness seen during the batch.
 func (e *Evaluator) EndBatch() {
-	e.mu.Lock()
+	e.batchMu.Lock()
 	if e.pendingBest < e.bestPrevFull {
 		e.bestPrevFull = e.pendingBest
 	}
-	e.frozenBest = e.bestPrevFull
-	e.mu.Unlock()
+	e.frozenBits.Store(math.Float64bits(e.bestPrevFull))
+	e.batchMu.Unlock()
 }
 
 // Stats returns a snapshot of the work counters.
-func (e *Evaluator) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
-}
+func (e *Evaluator) Stats() Stats { return e.ctr.snapshot() }
 
-// ResetStats zeroes the work counters (the cache is kept).
-func (e *Evaluator) ResetStats() {
-	e.mu.Lock()
-	e.stats = Stats{}
-	e.mu.Unlock()
-}
+// ResetStats zeroes the work counters (the caches are kept).
+func (e *Evaluator) ResetStats() { e.ctr.reset() }
 
 // Evaluate derives the individual's process, applies the configured
 // speedups, and stores the resulting fitness on the individual.
@@ -197,54 +314,127 @@ func (e *Evaluator) Evaluate(ind *gp.Individual) {
 }
 
 func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
-	e.mu.Lock()
-	e.stats.Evaluations++
-	e.stats.StepsPossible += len(e.obs)
-	e.mu.Unlock()
+	e.ctr.evaluations.Add(1)
+	e.ctr.stepsPossible.Add(int64(len(e.obs)))
 
-	phy, zoo, err := e.deriveSystem(ind)
-	if err != nil {
+	sc := e.scratch.Get().(*evalScratch)
+	defer e.scratch.Put(sc)
+
+	if !e.opts.UseCache {
+		// Uncached pipeline (the Fig 10 ablation baseline): derive,
+		// bind, build, and simulate on every call.
+		phy, zoo, err := e.deriveSplitSimplify(ind)
+		if err != nil {
+			return math.Inf(1), true
+		}
+		ent := e.buildEntry(phy, zoo)
+		if ent.bad {
+			return math.Inf(1), true
+		}
+		fitness, full, steps := e.simulate(ent, ind.Params, sc)
+		e.recordResult(fitness, full, steps)
+		return fitness, full
+	}
+
+	ent, key := e.structFor(ind)
+	if ent == nil || ent.bad {
 		return math.Inf(1), true
 	}
 
-	var key string
-	if e.opts.UseCache {
-		key = cacheKey(phy, zoo, ind.Params)
-		e.mu.Lock()
-		if ent, ok := e.cache[key]; ok {
-			e.stats.CacheHits++
-			e.mu.Unlock()
-			return ent.fitness, ent.full
-		}
-		e.mu.Unlock()
+	// Tier 2: (structure, params) → fitness. The key is rendered into
+	// per-goroutine scratch; map lookups with string(kb) do not
+	// allocate, only a first-time insert materializes the string.
+	kb := appendFitKey(sc.key[:0], key, ind.Params)
+	sc.key = kb
+	sh := &e.shards[hashBytes(kb)&(cacheShards-1)]
+	sh.mu.Lock()
+	if hit, ok := sh.fits[string(kb)]; ok {
+		sh.mu.Unlock()
+		e.ctr.cacheHits.Add(1)
+		return hit.fitness, hit.full
 	}
+	sh.mu.Unlock()
 
-	sys, err := e.buildSystem(phy, zoo)
-	if err != nil {
-		return math.Inf(1), true
-	}
-	fitness, full, steps := e.simulate(sys, ind.Params)
+	fitness, full, steps := e.simulate(ent, ind.Params, sc)
+	e.recordResult(fitness, full, steps)
 
-	e.mu.Lock()
-	e.stats.StepsEvaluated += steps
-	if full {
-		e.stats.FullEvals++
-		if fitness < e.pendingBest {
-			e.pendingBest = fitness
-		}
-	} else {
-		e.stats.ShortCircuits++
+	sh.mu.Lock()
+	if _, ok := sh.fits[string(kb)]; !ok {
+		sh.fits[string(kb)] = cacheEntry{fitness, full}
 	}
-	if e.opts.UseCache {
-		e.cache[key] = cacheEntry{fitness, full}
-	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	return fitness, full
 }
 
-// deriveSystem turns the derivation tree into bound (and optionally
-// simplified) derivative expressions.
-func (e *Evaluator) deriveSystem(ind *gp.Individual) (phy, zoo *expr.Node, err error) {
+// recordResult folds one simulation outcome into the counters and the
+// pending short-circuit reference.
+func (e *Evaluator) recordResult(fitness float64, full bool, steps int) {
+	e.ctr.stepsEvaluated.Add(int64(steps))
+	if full {
+		e.ctr.fullEvals.Add(1)
+		e.batchMu.Lock()
+		if fitness < e.pendingBest {
+			e.pendingBest = fitness
+		}
+		e.batchMu.Unlock()
+	} else {
+		e.ctr.shortCircuits.Add(1)
+	}
+}
+
+// structFor resolves the individual's executable structure through the
+// tier-1 cache. The fast path uses the structure key memoized on the
+// individual and touches neither the derivation tree nor the printer; the
+// slow path derives, simplifies, renders the canonical key, memoizes it on
+// the individual, and compiles on a cache miss.
+func (e *Evaluator) structFor(ind *gp.Individual) (*structEntry, string) {
+	if key := ind.StructKey(); key != "" && key[0] == e.keyTag {
+		if ent := e.lookupStruct(key); ent != nil {
+			e.ctr.tier1Hits.Add(1)
+			return ent, key
+		}
+		// The key is known but this evaluator has no entry yet;
+		// compiling needs the trees, so fall through to a derive.
+	}
+	phy, zoo, err := e.deriveSplitSimplify(ind)
+	if err != nil {
+		return nil, ""
+	}
+	key := e.renderKey(phy, zoo)
+	ind.SetStructKey(key)
+	if ent := e.lookupStruct(key); ent != nil {
+		e.ctr.tier1Hits.Add(1)
+		return ent, key
+	}
+	return e.insertStruct(key, e.buildEntry(phy, zoo)), key
+}
+
+func (e *Evaluator) lookupStruct(key string) *structEntry {
+	sh := &e.shards[hashString(key)&(cacheShards-1)]
+	sh.mu.Lock()
+	ent := sh.structs[key]
+	sh.mu.Unlock()
+	return ent
+}
+
+// insertStruct publishes a tier-1 entry; on a racing insert the first
+// entry wins so every goroutine shares one compiled system per structure.
+func (e *Evaluator) insertStruct(key string, ent *structEntry) *structEntry {
+	sh := &e.shards[hashString(key)&(cacheShards-1)]
+	sh.mu.Lock()
+	if old, ok := sh.structs[key]; ok {
+		sh.mu.Unlock()
+		return old
+	}
+	sh.structs[key] = ent
+	sh.mu.Unlock()
+	return ent
+}
+
+// deriveSplitSimplify turns the derivation tree into the two (optionally
+// simplified, still unbound) derivative expressions.
+func (e *Evaluator) deriveSplitSimplify(ind *gp.Individual) (phy, zoo *expr.Node, err error) {
+	e.ctr.derives.Add(1)
 	derived, err := ind.Deriv.Derive()
 	if err != nil {
 		return nil, nil, err
@@ -257,17 +447,48 @@ func (e *Evaluator) deriveSystem(ind *gp.Individual) (phy, zoo *expr.Node, err e
 		phy = expr.Simplify(phy)
 		zoo = expr.Simplify(zoo)
 	}
-	if err := grammar.BindSystem(phy, zoo, e.consts); err != nil {
-		return nil, nil, err
-	}
 	return phy, zoo, nil
 }
 
-func (e *Evaluator) buildSystem(phy, zoo *expr.Node) (*bio.System, error) {
-	if e.opts.UseCompile {
-		return bio.NewCompiledSystem(phy, zoo)
+// buildEntry binds the split system and builds its executable form
+// (bytecode programs under UseCompile, interpreting trees otherwise).
+func (e *Evaluator) buildEntry(phy, zoo *expr.Node) *structEntry {
+	if err := grammar.BindSystem(phy, zoo, e.consts); err != nil {
+		return &structEntry{bad: true}
 	}
-	return bio.NewTreeSystem(phy, zoo), nil
+	e.ctr.compiles.Add(1)
+	if e.opts.UseCompile {
+		ss, err := bio.NewSharedSystem(phy, zoo)
+		if err != nil {
+			return &structEntry{bad: true}
+		}
+		return &structEntry{shared: ss}
+	}
+	return &structEntry{tree: bio.NewTreeSystem(phy, zoo)}
+}
+
+// renderKey builds the canonical structure key: the simplify-mode tag and
+// the canonical strings of both derivative expressions.
+func (e *Evaluator) renderKey(phy, zoo *expr.Node) string {
+	var b strings.Builder
+	b.WriteByte(e.keyTag)
+	b.WriteByte('|')
+	b.WriteString(phy.String())
+	b.WriteByte('|')
+	b.WriteString(zoo.String())
+	return b.String()
+}
+
+// appendFitKey renders the tier-2 key (structure key + parameter vector)
+// into buf, which is reused across evaluations by the same goroutine.
+func appendFitKey(buf []byte, structKey string, params []float64) []byte {
+	buf = append(buf, structKey...)
+	buf = append(buf, '#')
+	for _, p := range params {
+		buf = strconv.AppendFloat(buf, p, 'g', 17, 64)
+		buf = append(buf, ',')
+	}
+	return buf
 }
 
 // simulate runs the forward simulation, accumulating the running RMSE and
@@ -275,21 +496,19 @@ func (e *Evaluator) buildSystem(phy, zoo *expr.Node) (*bio.System, error) {
 // fitness (final RMSE, or the extrapolated surrogate when short-circuited),
 // whether the evaluation was full, and the number of fitness cases
 // simulated.
-func (e *Evaluator) simulate(sys *bio.System, params []float64) (float64, bool, int) {
+func (e *Evaluator) simulate(ent *structEntry, params []float64, sc *evalScratch) (float64, bool, int) {
 	n := len(e.obs)
 	threshold := e.opts.Threshold
 	best := math.Inf(1)
 	if e.opts.UseShortCircuit {
-		e.mu.Lock()
-		best = e.frozenBest
-		e.mu.Unlock()
+		best = math.Float64frombits(e.frozenBits.Load())
 	}
 	var sse float64
 	steps := 0
 	shortFitness := math.NaN()
-	sc := false
+	scd := false
 	minSteps := int(e.opts.MinFrac * float64(n))
-	e.runSim(sys, params, func(t int, bphy float64) bool {
+	perStep := func(t int, bphy float64) bool {
 		if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
 			sse = math.Inf(1)
 			steps = t + 1
@@ -306,13 +525,18 @@ func (e *Evaluator) simulate(sys *bio.System, params []float64) (float64, bool, 
 			est := e.opts.Extrap(fitness, t, n)
 			if est > best {
 				shortFitness = est
-				sc = true
+				scd = true
 				return false // short circuit
 			}
 		}
 		return true
-	})
-	if sc {
+	}
+	if ent.shared != nil {
+		ent.shared.Run(e.forcing, params, e.opts.Sim, &sc.sim, perStep)
+	} else {
+		ent.tree.RunBuf(e.forcing, params, e.opts.Sim, &sc.sim, perStep)
+	}
+	if scd {
 		return shortFitness, false, steps
 	}
 	if math.IsInf(sse, 1) || steps == 0 {
@@ -326,28 +550,9 @@ func (e *Evaluator) simulate(sys *bio.System, params []float64) (float64, bool, 
 	return math.Sqrt(sse / float64(n)), true, steps
 }
 
-func (e *Evaluator) runSim(sys *bio.System, params []float64, perStep func(int, float64) bool) {
-	sys.Run(e.forcing, params, e.opts.Sim, perStep)
-}
-
-// cacheKey renders the simplified process and its parameters canonically.
-// Parameter values are part of the key because fitness depends on them.
-func cacheKey(phy, zoo *expr.Node, params []float64) string {
-	var b strings.Builder
-	b.WriteString(phy.String())
-	b.WriteByte('|')
-	b.WriteString(zoo.String())
-	b.WriteByte('|')
-	for _, p := range params {
-		b.WriteString(strconv.FormatFloat(p, 'g', 17, 64))
-		b.WriteByte(',')
-	}
-	return b.String()
-}
-
 // PredictIndividual simulates an individual's revised process over an
 // arbitrary forcing window (e.g. the test period) and returns the
-// prediction series. It shares no state with the evaluator's cache.
+// prediction series. It shares no state with the evaluator's caches.
 func PredictIndividual(ind *gp.Individual, consts []bio.Constant, forcing [][]float64, sim bio.SimConfig) ([]float64, error) {
 	derived, err := ind.Deriv.Derive()
 	if err != nil {

@@ -356,12 +356,109 @@ func TestMinFracDelaysShortCircuit(t *testing.T) {
 	}
 }
 
+// TestEngineDeterminismAcrossWorkerCounts runs the full TAG3P engine with
+// the real evaluator (all speedups on) at Workers=1 and Workers=8 and the
+// same seed. Results must be bitwise identical: the batch-frozen
+// short-circuit reference, the pre-split per-individual RNG streams, and
+// the order-independent cache semantics together guarantee that worker
+// count never changes the search trajectory (ISSUE 1 acceptance
+// criterion; run under -race this also exercises the sharded cache and
+// the shared compiled programs concurrently).
+func TestEngineDeterminismAcrossWorkerCounts(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	g, err := grammar.River(grammar.DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := make([]gp.Prior, len(consts))
+	for i, c := range consts {
+		priors[i] = gp.Prior{Mean: c.Mean, Min: c.Min, Max: c.Max}
+	}
+	runWith := func(workers int) *gp.Result {
+		ev := New(forcing, obs, consts, Options{
+			UseCache: true, UseCompile: true, Simplify: true, UseShortCircuit: true,
+			Sim: simCfg(obs),
+		})
+		eng, err := gp.NewEngine(g, ev, gp.Config{
+			PopSize: 16, MaxGen: 4, LocalSearchSteps: 1,
+			Priors: priors, InitParamsAtMean: true,
+			Seed: 42, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runWith(1), runWith(8)
+	if a.Best.Fitness != b.Best.Fitness {
+		t.Errorf("best fitness differs across worker counts: %v vs %v", a.Best.Fitness, b.Best.Fitness)
+	}
+	if len(a.History) != len(b.History) {
+		t.Fatalf("history length differs: %d vs %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Errorf("generation %d stats differ: %+v vs %+v", i, a.History[i], b.History[i])
+		}
+	}
+	if a.Evaluations != b.Evaluations {
+		t.Errorf("evaluation counts differ: %d vs %d", a.Evaluations, b.Evaluations)
+	}
+}
+
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Evaluations: 1, FullEvals: 2, ShortCircuits: 3, CacheHits: 4, StepsEvaluated: 5, StepsPossible: 6}
+	a := Stats{Evaluations: 1, FullEvals: 2, ShortCircuits: 3, CacheHits: 4,
+		Tier1Hits: 5, Derives: 6, Compiles: 7, StepsEvaluated: 8, StepsPossible: 9}
 	b := a
 	a.Add(b)
-	if a.Evaluations != 2 || a.FullEvals != 4 || a.ShortCircuits != 6 ||
-		a.CacheHits != 8 || a.StepsEvaluated != 10 || a.StepsPossible != 12 {
-		t.Errorf("Stats.Add wrong: %+v", a)
+	want := Stats{Evaluations: 2, FullEvals: 4, ShortCircuits: 6, CacheHits: 8,
+		Tier1Hits: 10, Derives: 12, Compiles: 14, StepsEvaluated: 16, StepsPossible: 18}
+	if a != want {
+		t.Errorf("Stats.Add wrong: %+v, want %+v", a, want)
+	}
+}
+
+// TestTierOneSkipsDeriveAndCompile pins the tentpole acceptance criterion:
+// a parameter-only re-evaluation of a known structure must not re-derive or
+// re-compile (ISSUE 1: "verify via a compile-counter stat in the test").
+func TestTierOneSkipsDeriveAndCompile(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	ev := New(forcing, obs, consts, Options{UseCache: true, UseCompile: true, Simplify: true, Sim: simCfg(obs)})
+	ind, _ := manualInd(t)
+	ev.BeginBatch()
+	ev.Evaluate(ind)
+	for i := 0; i < 5; i++ {
+		ind.Params[0] *= 1.001 // unique params: tier-2 miss, tier-1 hit
+		ind.Invalidate()
+		ev.Evaluate(ind)
+	}
+	ev.EndBatch()
+	st := ev.Stats()
+	if st.Derives != 1 || st.Compiles != 1 {
+		t.Errorf("param-only re-evals re-ran the pipeline: derives=%d compiles=%d, want 1 each", st.Derives, st.Compiles)
+	}
+	if st.Tier1Hits != 5 {
+		t.Errorf("tier-1 hits = %d, want 5", st.Tier1Hits)
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("tier-2 hits = %d, want 0 (params were unique)", st.CacheHits)
+	}
+	// A structural change must invalidate the memoized key and re-derive,
+	// and a fresh clone of the same structure must still hit tier 1 via
+	// the rendered canonical key even without the memo.
+	fresh, _ := manualInd(t)
+	ev.BeginBatch()
+	ev.Evaluate(fresh)
+	ev.EndBatch()
+	st = ev.Stats()
+	if st.Compiles != 1 {
+		t.Errorf("fresh individual with identical structure recompiled: compiles=%d", st.Compiles)
+	}
+	if st.Derives != 2 {
+		t.Errorf("fresh individual must re-derive once to build its key: derives=%d", st.Derives)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gmr/internal/stats"
 	"gmr/internal/tag"
@@ -155,6 +156,56 @@ type Engine struct {
 	rng  *rand.Rand
 
 	evaluations int
+
+	// jobCh feeds the persistent evaluation worker pool; non-nil only
+	// while Run is executing (see startWorkers).
+	jobCh    chan evalJob
+	workerWG sync.WaitGroup
+}
+
+// evalJob is one unit of work for the evaluation worker pool: evaluate the
+// individual if needed, then run the optional follow-up (local search)
+// with the job's pre-split RNG stream.
+type evalJob struct {
+	ind      *Individual
+	rng      *rand.Rand
+	followUp func(*Individual, *rand.Rand) int
+	wg       *sync.WaitGroup
+	evals    *atomic.Int64
+}
+
+// startWorkers launches the persistent evaluation workers for one Run.
+// A fixed pool replaces the former goroutine-per-individual + channel
+// semaphore: workers live for the whole run, so per-goroutine evaluator
+// scratch (eval stacks, simulation buffers, key builders — pooled inside
+// the evaluator) stays warm across generations instead of being
+// re-allocated for every individual. The returned stop function drains and
+// joins the pool.
+func (e *Engine) startWorkers() func() {
+	e.jobCh = make(chan evalJob, 2*e.cfg.Workers)
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.workerWG.Add(1)
+		go func() {
+			defer e.workerWG.Done()
+			for j := range e.jobCh {
+				n := 0
+				if !j.ind.Evaluated {
+					e.eval.Evaluate(j.ind)
+					n++
+				}
+				if j.followUp != nil {
+					n += j.followUp(j.ind, j.rng)
+				}
+				j.evals.Add(int64(n))
+				j.wg.Done()
+			}
+		}()
+	}
+	return func() {
+		close(e.jobCh)
+		e.workerWG.Wait()
+		e.jobCh = nil
+	}
 }
 
 // NewEngine validates the configuration and constructs an engine.
@@ -208,6 +259,8 @@ func (e *Engine) sigmaScale(gen int) float64 {
 // evaluator behavior.
 func (e *Engine) Run() (*Result, error) {
 	cfg := e.cfg
+	stop := e.startWorkers()
+	defer stop()
 	pop := make([]*Individual, 0, cfg.PopSize)
 	for _, seed := range cfg.SeedIndividuals {
 		if len(pop) < cfg.PopSize {
@@ -376,47 +429,27 @@ func (e *Engine) refineElite(ind *Individual, sigma float64) {
 	e.eval.EndBatch()
 }
 
-// evaluatePop evaluates all unevaluated individuals in parallel (one batch:
-// shared evaluator state is frozen) and then runs the optional per-
-// individual follow-up (local search) inside the same batch. RNG streams
-// are pre-split per individual so the run is deterministic regardless of
-// scheduling.
+// evaluatePop evaluates all unevaluated individuals on the persistent
+// worker pool (one batch: shared evaluator state is frozen) and then runs
+// the optional per-individual follow-up (local search) inside the same
+// batch. RNG streams are pre-split per individual, in population order and
+// before any job is dispatched, so the run is deterministic regardless of
+// scheduling and worker count.
 func (e *Engine) evaluatePop(pop []*Individual, followUp func(*Individual, *rand.Rand) int) {
-	type job struct {
-		ind *Individual
-		rng *rand.Rand
-	}
-	jobs := make([]job, 0, len(pop))
-	for _, ind := range pop {
-		jobs = append(jobs, job{ind, stats.Split(e.rng)})
+	rngs := make([]*rand.Rand, len(pop))
+	for i := range pop {
+		rngs[i] = stats.Split(e.rng)
 	}
 	e.eval.BeginBatch()
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.cfg.Workers)
-	var mu sync.Mutex
-	evals := 0
-	for _, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			n := 0
-			if !j.ind.Evaluated {
-				e.eval.Evaluate(j.ind)
-				n++
-			}
-			if followUp != nil {
-				n += followUp(j.ind, j.rng)
-			}
-			mu.Lock()
-			evals += n
-			mu.Unlock()
-		}(j)
+	var evals atomic.Int64
+	wg.Add(len(pop))
+	for i, ind := range pop {
+		e.jobCh <- evalJob{ind: ind, rng: rngs[i], followUp: followUp, wg: &wg, evals: &evals}
 	}
 	wg.Wait()
 	e.eval.EndBatch()
-	e.evaluations += evals
+	e.evaluations += int(evals.Load())
 }
 
 func (e *Engine) genStats(gen int, pop []*Individual) GenStats {

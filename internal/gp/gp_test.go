@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"gmr/internal/expr"
@@ -32,13 +33,13 @@ func testGrammar() *tag.Grammar {
 // mutation).
 type valueEvaluator struct {
 	target float64
-	evals  int
+	evals  atomic.Int64 // the engine evaluates batches concurrently
 }
 
 func (v *valueEvaluator) BeginBatch() {}
 func (v *valueEvaluator) EndBatch()   {}
 func (v *valueEvaluator) Evaluate(ind *Individual) {
-	v.evals++ // engine runs batches; races here are acceptable for counting-ish asserts with Workers=1
+	v.evals.Add(1)
 	derived, err := ind.Deriv.Derive()
 	if err != nil {
 		ind.Fitness = math.Inf(1)

@@ -27,6 +27,14 @@ type Individual struct {
 	// FullEval reports whether the last evaluation ran every fitness
 	// case (false when evaluation was short-circuited).
 	FullEval bool
+
+	// structKey memoizes the evaluator's canonical structure key ("" =
+	// unknown) so param-only re-evaluations skip re-deriving and
+	// re-printing the tree. It survives Clone, replication, and
+	// parameter-only Gaussian mutation, and is cleared by every
+	// structural edit (and by literal perturbations, which change the
+	// derived expression). See evalx's tier-1 structure cache.
+	structKey string
 }
 
 // NewIndividual wraps a derivation tree and parameter vector with an
@@ -35,7 +43,8 @@ func NewIndividual(d *tag.DerivNode, params []float64) *Individual {
 	return &Individual{Deriv: d, Params: append([]float64(nil), params...), Fitness: math.Inf(1)}
 }
 
-// Clone deep-copies the individual, including its evaluation state.
+// Clone deep-copies the individual, including its evaluation state and
+// memoized structure key.
 func (ind *Individual) Clone() *Individual {
 	return &Individual{
 		Deriv:     ind.Deriv.Clone(),
@@ -43,16 +52,35 @@ func (ind *Individual) Clone() *Individual {
 		Fitness:   ind.Fitness,
 		Evaluated: ind.Evaluated,
 		FullEval:  ind.FullEval,
+		structKey: ind.structKey,
 	}
 }
 
 // Invalidate marks the individual as needing re-evaluation after a
-// structural or parameter change.
+// parameter change. The memoized structure key is kept: parameter moves do
+// not change the derived structure.
 func (ind *Individual) Invalidate() {
 	ind.Fitness = math.Inf(1)
 	ind.Evaluated = false
 	ind.FullEval = false
 }
+
+// InvalidateStructure marks the individual as needing re-evaluation after
+// a structural edit (crossover subtree swap, subtree mutation, insertion,
+// deletion, literal perturbation): fitness AND the memoized structure key
+// are discarded.
+func (ind *Individual) InvalidateStructure() {
+	ind.Invalidate()
+	ind.structKey = ""
+}
+
+// StructKey returns the memoized canonical structure key, or "" when it
+// has not been computed since the last structural edit.
+func (ind *Individual) StructKey() string { return ind.structKey }
+
+// SetStructKey memoizes the canonical structure key computed by an
+// evaluator. Callers other than evaluators should not use this.
+func (ind *Individual) SetStructKey(k string) { ind.structKey = k }
 
 // Size returns the derivation-tree size (the paper's chromosome size).
 func (ind *Individual) Size() int { return ind.Deriv.Size() }

@@ -79,8 +79,8 @@ func Crossover(rng *rand.Rand, a, b *Individual, minSize, maxSize int) (*Individ
 		// swapping the Addr fields too.
 		na.Addr, nb.Addr = nb.Addr, na.Addr
 		sa.parent.Children[sa.idx], sb.parent.Children[sb.idx] = nb, na
-		ca.Invalidate()
-		cb.Invalidate()
+		ca.InvalidateStructure()
+		cb.InvalidateStructure()
 		return ca, cb
 	}
 	return ca, cb
@@ -95,7 +95,7 @@ func SubtreeMutation(rng *rand.Rand, g *tag.Grammar, ind *Individual, maxSize in
 	slots := nonRootSlots(c.Deriv)
 	if len(slots) == 0 {
 		if _, err := g.Insert(rng, c.Deriv); err == nil {
-			c.Invalidate()
+			c.InvalidateStructure()
 		}
 		return c
 	}
@@ -113,7 +113,7 @@ func SubtreeMutation(rng *rand.Rand, g *tag.Grammar, ind *Individual, maxSize in
 		return c
 	}
 	s.parent.Children[s.idx] = sub
-	c.Invalidate()
+	c.InvalidateStructure()
 	return c
 }
 
@@ -150,6 +150,7 @@ func GaussianMutation(rng *rand.Rand, ind *Individual, priors []Prior, sigmaScal
 		}
 		c.Params[i] = stats.TruncGauss(rng, c.Params[i], sigma, p.Min, p.Max)
 	}
+	litChanged := false
 	for j, lit := range lits {
 		if n+j != forced && rng.Float64() >= perParam {
 			continue
@@ -162,8 +163,15 @@ func GaussianMutation(rng *rand.Rand, ind *Individual, priors []Prior, sigmaScal
 			sigma = 0.25
 		}
 		lit.Val += sigmaScale * sigma * rng.NormFloat64()
+		litChanged = true
 	}
-	c.Invalidate()
+	if litChanged {
+		// Literal values are part of the derived expression, so the
+		// memoized structure key no longer matches.
+		c.InvalidateStructure()
+	} else {
+		c.Invalidate() // parameter-only move: structure key stays valid
+	}
 	return c
 }
 
@@ -179,7 +187,7 @@ func Insertion(rng *rand.Rand, g *tag.Grammar, ind *Individual, maxSize int) *In
 	if err != nil || child == nil {
 		return nil
 	}
-	c.Invalidate()
+	c.InvalidateStructure()
 	return c
 }
 
@@ -193,6 +201,6 @@ func Deletion(rng *rand.Rand, ind *Individual, minSize int) *Individual {
 	if !tag.Delete(rng, c.Deriv) {
 		return nil
 	}
-	c.Invalidate()
+	c.InvalidateStructure()
 	return c
 }
