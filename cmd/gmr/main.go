@@ -2,17 +2,35 @@
 // and prints the revised process:
 //
 //	gmr [-data nakdong.csv] [-pop 150] [-gens 60] [-runs 2] [-seed 1]
+//	gmr -islands 4 [-migrate-every 5] [-migrants 2] \
+//	    [-checkpoint run.ckpt] [-resume] [-telemetry run.jsonl]
 //
 // Without -data, a synthetic Nakdong dataset is generated (seed 7). The
 // output reports train/test accuracy, the revised differential equations,
 // and the Figure 9 variable-selectivity analysis over the run's best
 // models.
+//
+// With -islands N, the -runs sequential restarts are replaced by N
+// cooperating islands that exchange elites on a ring every -migrate-every
+// generations. -checkpoint enables crash-safe snapshots; -resume restores
+// one (the other flags must match the run that wrote it). -telemetry
+// streams per-generation JSONL records.
+//
+// SIGINT/SIGTERM stop the run gracefully at the next generation barrier:
+// the models evolved so far are reported, and in islands mode a final
+// checkpoint is written when -checkpoint is set. A second signal kills the
+// process immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gmr/internal/core"
 	"gmr/internal/dataset"
@@ -26,15 +44,29 @@ func main() {
 		dataPath = flag.String("data", "", "dataset CSV (from datagen); empty = generate synthetic data")
 		pop      = flag.Int("pop", 150, "population size")
 		gens     = flag.Int("gens", 60, "generations")
-		runs     = flag.Int("runs", 2, "independent runs")
+		runs     = flag.Int("runs", 2, "independent runs (ignored with -islands)")
 		ls       = flag.Int("ls", 6, "local search steps per offspring")
 		seed     = flag.Int64("seed", 1, "seed")
 		subSteps = flag.Int("substeps", 2, "Euler substeps per day")
 		noES     = flag.Bool("no-es", false, "disable evaluation short-circuiting")
 		analyze  = flag.Bool("analyze", true, "run the variable-selectivity analysis")
 		savePath = flag.String("save", "", "write the best revised model (derivation + parameters) to this JSON file")
+
+		islands     = flag.Int("islands", 0, "run as an island model with this many islands (0 = sequential runs)")
+		migEvery    = flag.Int("migrate-every", 0, "generations between elite migrations (0 = default 5, <0 disables)")
+		migrants    = flag.Int("migrants", 0, "elites sent per migration (0 = default 2)")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint file path (islands mode; empty disables)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint cadence in generations (0 = default 10)")
+		resumeRun   = flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
+		telemetryTo = flag.String("telemetry", "", "write JSONL run telemetry to this file (islands mode)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context; the run stops at the next
+	// generation barrier and partial results are reported. A second
+	// signal terminates immediately (signal.NotifyContext unregisters).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var ds *dataset.Dataset
 	var err error
@@ -64,11 +96,60 @@ func main() {
 		Runs: *runs,
 		TopK: 50,
 	}
-	fmt.Printf("running GMR: %d×%d, %d runs, local search %d...\n", *pop, *gens, *runs, *ls)
-	res, err := core.Run(ds, cfg)
-	if err != nil {
-		fatal(err)
+
+	var res *core.Result
+	if *islands > 0 {
+		var tele io.Writer
+		if *telemetryTo != "" {
+			f, err := os.Create(*telemetryTo)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			tele = f
+		}
+		if *resumeRun {
+			fmt.Printf("resuming %d islands from %s...\n", *islands, *checkpoint)
+		} else {
+			fmt.Printf("running GMR islands: %d islands × %d×%d, local search %d...\n",
+				*islands, *pop, *gens, *ls)
+		}
+		r, orch, err := core.RunIslands(ctx, ds, cfg, core.IslandOptions{
+			Islands:         *islands,
+			MigrationEvery:  *migEvery,
+			Migrants:        *migrants,
+			CheckpointPath:  *checkpoint,
+			CheckpointEvery: *ckptEvery,
+			Resume:          *resumeRun,
+			Telemetry:       tele,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if orch.Interrupted {
+			fmt.Printf("\ninterrupted at generation %d/%d", orch.Generations, *gens)
+			if *checkpoint != "" {
+				fmt.Printf(" — checkpoint written to %s (continue with -resume)", *checkpoint)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("generations %d, migrations %d, best from island %d\n",
+			orch.Generations, orch.Migrations, orch.BestIsland)
+		res = r
+	} else {
+		fmt.Printf("running GMR: %d×%d, %d runs, local search %d...\n", *pop, *gens, *runs, *ls)
+		res, err = core.RunContext(ctx, ds, cfg)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fatal(fmt.Errorf("interrupted before any model was evolved"))
+			}
+			fatal(err)
+		}
+		if ctx.Err() != nil {
+			fmt.Println("\ninterrupted — reporting the models evolved so far")
+		}
 	}
+
 	fmt.Println()
 	if err := report.Write(os.Stdout, ds, res, report.Options{
 		Selectivity: *analyze,

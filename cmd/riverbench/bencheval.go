@@ -24,23 +24,14 @@ type benchEvalResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// benchEvalCacheStats summarizes the two-tier cache behavior under a mixed
-// GP-like workload (many structures, jittered parameters).
-type benchEvalCacheStats struct {
-	Evaluations  int     `json:"evaluations"`
-	Tier1Hits    int     `json:"tier1_hits"`
-	Tier2Hits    int     `json:"tier2_hits"`
-	Derives      int     `json:"derives"`
-	Compiles     int     `json:"compiles"`
-	Tier1HitRate float64 `json:"tier1_hit_rate"`
-	Tier2HitRate float64 `json:"tier2_hit_rate"`
-}
-
 type benchEvalSnapshot struct {
-	GoVersion  string              `json:"go_version"`
-	GOMAXPROCS int                 `json:"gomaxprocs"`
-	Benchmarks []benchEvalResult   `json:"benchmarks"`
-	Cache      benchEvalCacheStats `json:"cache"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks []benchEvalResult `json:"benchmarks"`
+	// Cache summarizes the two-tier cache behavior under a mixed GP-like
+	// workload (many structures, jittered parameters) — the evaluator's
+	// own counter snapshot, shared with the orchestrator telemetry.
+	Cache evalx.Snapshot `json:"cache"`
 }
 
 // runBenchEval measures the evaluator hot path in the three regimes of the
@@ -180,18 +171,9 @@ func runBenchEval(ds *dataset.Dataset, outPath string) error {
 			}
 		}
 		ev.EndBatch()
-		st := ev.Stats()
-		snap.Cache = benchEvalCacheStats{
-			Evaluations:  st.Evaluations,
-			Tier1Hits:    st.Tier1Hits,
-			Tier2Hits:    st.CacheHits,
-			Derives:      st.Derives,
-			Compiles:     st.Compiles,
-			Tier1HitRate: float64(st.Tier1Hits) / float64(st.Evaluations),
-			Tier2HitRate: float64(st.CacheHits) / float64(st.Evaluations),
-		}
+		snap.Cache = ev.Snapshot()
 		fmt.Printf("  mixed workload: %d evals, tier-1 hit rate %.2f, tier-2 hit rate %.2f, %d compiles\n",
-			st.Evaluations, snap.Cache.Tier1HitRate, snap.Cache.Tier2HitRate, st.Compiles)
+			snap.Cache.Evaluations, snap.Cache.Tier1HitRate, snap.Cache.Tier2HitRate, snap.Cache.Compiles)
 	}
 
 	f, err := os.Create(outPath)

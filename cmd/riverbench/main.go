@@ -5,6 +5,7 @@
 //	riverbench -exp fig9
 //	riverbench -exp fig10 [-pop 60]
 //	riverbench -exp fig11
+//	riverbench -exp islands [-islands 4] [-checkpoint run.ckpt] [-resume] [-telemetry ISLANDS.jsonl]
 //	riverbench -exp bencheval [-bench-out BENCH_EVAL.json]
 //	riverbench -exp all
 //
@@ -12,16 +13,27 @@
 // side with Table V and Figures 1, 9, 10, and 11 (see EXPERIMENTS.md).
 // -exp bencheval snapshots the evaluator hot-path benchmarks (cold /
 // tier-1 hit / tier-2 hit, plus cache hit rates) into a JSON file.
+// -exp islands runs GMR as an island model with elite migration, streaming
+// JSONL telemetry (per-island generation stats, migration events, evaluator
+// cache hit rates) and optionally checkpointing for crash-safe resume.
+//
+// SIGINT/SIGTERM stop experiments gracefully at the next boundary (method,
+// sweep setting, or GP generation), reporting whatever completed; the
+// islands experiment additionally writes its checkpoint before exiting.
 //
 // Profiling: -cpuprofile and -memprofile write pprof files for any
 // experiment; -pprof ADDR serves net/http/pprof for live inspection.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"gmr/internal/experiments"
@@ -29,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "tablev", "experiment: tablev, fig9, fig10, fig11, ablation, bencheval, or all")
+		exp      = flag.String("exp", "tablev", "experiment: tablev, fig9, fig10, fig11, ablation, islands, bencheval, or all")
 		scale    = flag.String("scale", "small", "budget scale: small, medium, or paper")
 		seed     = flag.Int64("seed", 1, "master seed (dataset uses seed, methods use derived seeds)")
 		dsSeed   = flag.Int64("data-seed", 7, "synthetic dataset seed")
@@ -40,8 +52,28 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		islands     = flag.Int("islands", 0, "islands experiment: island count (0 = derive from scale)")
+		migEvery    = flag.Int("migrate-every", 0, "islands: generations between elite migrations (0 = default, <0 disables)")
+		migrants    = flag.Int("migrants", 0, "islands: elites sent per migration (0 = default)")
+		checkpoint  = flag.String("checkpoint", "", "islands: checkpoint file path (empty disables checkpointing)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "islands: checkpoint cadence in generations (0 = default)")
+		resumeRun   = flag.Bool("resume", false, "islands: resume from -checkpoint instead of starting fresh")
+		telemetryTo = flag.String("telemetry", "ISLANDS.jsonl", "islands: JSONL telemetry output path (empty disables)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context; experiments stop at their next
+	// boundary and report partial results. A second signal kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	interrupted := func(err error) bool {
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("\ninterrupted — reporting results completed so far")
+			return true
+		}
+		return false
+	}
 
 	sc, ok := experiments.ScaleByName(*scale)
 	if !ok {
@@ -66,8 +98,8 @@ func main() {
 				filter[strings.TrimSpace(m)] = true
 			}
 		}
-		rows, err := experiments.TableV(ds, sc, *seed, filter)
-		if err != nil {
+		rows, err := experiments.TableV(ctx, ds, sc, *seed, filter)
+		if err != nil && !interrupted(err) {
 			fatal(err)
 		}
 		if *md {
@@ -90,8 +122,11 @@ func main() {
 	}
 
 	runFig9 := func() {
-		sel, res, err := experiments.Fig9(ds, sc, *seed)
+		sel, res, err := experiments.Fig9(ctx, ds, sc, *seed)
 		if err != nil {
+			if interrupted(err) {
+				return
+			}
 			fatal(err)
 		}
 		fmt.Printf("Figure 9 — variable selectivity among the %d best models\n", len(res.TopModels))
@@ -107,8 +142,8 @@ func main() {
 	}
 
 	runFig10 := func() {
-		rows, err := experiments.Fig10(ds, sc, *pop, *seed)
-		if err != nil {
+		rows, err := experiments.Fig10(ctx, ds, sc, *pop, *seed)
+		if err != nil && !interrupted(err) {
 			fatal(err)
 		}
 		if *md {
@@ -130,8 +165,8 @@ func main() {
 	}
 
 	runAblation := func() {
-		rows, err := experiments.AblationKnowledge(ds, sc, *seed)
-		if err != nil {
+		rows, err := experiments.AblationKnowledge(ctx, ds, sc, *seed)
+		if err != nil && !interrupted(err) {
 			fatal(err)
 		}
 		fmt.Println("Ablation — knowledge incorporation (equal budget)")
@@ -145,8 +180,8 @@ func main() {
 	}
 
 	runFig11 := func() {
-		rows, err := experiments.Fig11(ds, sc, *seed)
-		if err != nil {
+		rows, err := experiments.Fig11(ctx, ds, sc, *seed)
+		if err != nil && !interrupted(err) {
 			fatal(err)
 		}
 		if *md {
@@ -185,6 +220,54 @@ func main() {
 		fmt.Println()
 	}
 
+	runIslands := func() {
+		opts := experiments.IslandsOptions{
+			Islands:         *islands,
+			MigrationEvery:  *migEvery,
+			Migrants:        *migrants,
+			CheckpointPath:  *checkpoint,
+			CheckpointEvery: *ckptEvery,
+			Resume:          *resumeRun,
+		}
+		if *telemetryTo != "" {
+			f, err := os.Create(*telemetryTo)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			opts.Telemetry = f
+		}
+		res, err := experiments.Islands(ctx, ds, sc, *seed, opts)
+		if err != nil {
+			if interrupted(err) {
+				return
+			}
+			fatal(err)
+		}
+		fmt.Printf("Islands — GMR as an island model (scale %s)\n", sc.Name)
+		if res.Orch.Interrupted {
+			fmt.Printf("interrupted at generation %d", res.Orch.Generations)
+			if *checkpoint != "" {
+				fmt.Printf(" — checkpoint written to %s (resume with -resume)", *checkpoint)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("islands %d, generations %d, migrations %d\n",
+			len(res.Orch.PerIsland), res.Orch.Generations, res.Orch.Migrations)
+		if *telemetryTo != "" {
+			fmt.Printf("telemetry: %s\n", *telemetryTo)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "Class\tMethod\tTrain RMSE\tTrain MAE\tTest RMSE\tTest MAE\tSeconds")
+		r := res.Row
+		fmt.Fprintf(w, "%s\t%s\t%.4g\t%.4g\t%.4g\t%.4g\t%.1f\n",
+			r.Class, r.Method, r.TrainRMSE, r.TrainMAE, r.TestRMSE, r.TestMAE, r.Seconds)
+		w.Flush()
+		fmt.Printf("\nbest revised model (island %d):\n", res.Orch.BestIsland)
+		fmt.Printf("  dBPhy/dt = %s\n", res.Core.BestPhy.Pretty())
+		fmt.Printf("  dBZoo/dt = %s\n\n", res.Core.BestZoo.Pretty())
+	}
+
 	switch *exp {
 	case "tablev":
 		runTableV()
@@ -196,6 +279,8 @@ func main() {
 		runFig11()
 	case "ablation":
 		runAblation()
+	case "islands":
+		runIslands()
 	case "bencheval":
 		if err := runBenchEval(ds, *benchOut); err != nil {
 			fatal(err)

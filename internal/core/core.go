@@ -8,7 +8,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 
@@ -20,6 +22,7 @@ import (
 	"gmr/internal/gp"
 	"gmr/internal/grammar"
 	"gmr/internal/metrics"
+	"gmr/internal/orchestrator"
 	"gmr/internal/stats"
 	"gmr/internal/tag"
 )
@@ -95,11 +98,20 @@ type Result struct {
 	EvalStats evalx.Stats
 }
 
-// Run executes GMR on the dataset: builds the knowledge grammar, evolves
-// Config.Runs populations, and evaluates the best revised model on the
-// held-out test window.
-func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+// runSetup holds the shared artifacts every run mode (sequential runs,
+// context-aware runs, island orchestration) derives from a Config: the
+// knowledge grammar, the prior-wired GP configuration, the simulation
+// options, and the pre-calibration machinery.
+type runSetup struct {
+	g        *tag.Grammar
+	gpCfg    gp.Config
+	evalOpts evalx.Options
+	precal   calib.Objective
+	lo, hi   []float64
+	budget   int
+}
+
+func prepare(ds *dataset.Dataset, cfg Config) (*runSetup, error) {
 	g, err := grammar.River(cfg.Extensions)
 	if err != nil {
 		return nil, err
@@ -116,51 +128,90 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	evalOpts.Sim.Phy0 = ds.ObsPhy[0]
 	evalOpts.Sim.Zoo0 = ds.ObsZoo[0]
 
+	s := &runSetup{g: g, gpCfg: gpCfg, evalOpts: evalOpts}
 	// Pre-calibration of the unrevised process: each run starts from its
 	// own calibrated parameter vector (different calibration seeds find
 	// different basins of the multimodal box, and the runs then explore
 	// revisions from diverse calibrated starting points).
-	var precalObj calib.Objective
 	if cfg.PreCalibrateBudget >= 0 {
 		obj, err := calib.RiverObjective(ds.TrainForcing(), ds.TrainObsPhy(), evalOpts.Sim)
 		if err != nil {
 			return nil, err
 		}
-		precalObj = obj
+		s.precal = obj
 	}
-	lo, hi := calib.Box(cfg.Constants)
-	budget := cfg.PreCalibrateBudget
-	if budget == 0 {
-		budget = 3000
+	s.lo, s.hi = calib.Box(cfg.Constants)
+	s.budget = cfg.PreCalibrateBudget
+	if s.budget == 0 {
+		s.budget = 3000
+	}
+	return s, nil
+}
+
+// newEvaluator builds a fresh per-run (or per-island) evaluator. Each run
+// must get its own: the short-circuiting reference and the tree cache are
+// per-run state, and sharing them would let earlier runs truncate later
+// runs' evaluations against a foreign best (turning their reported
+// fitnesses into boundary-hugging surrogates).
+func (s *runSetup) newEvaluator(ds *dataset.Dataset, cfg Config) *evalx.Evaluator {
+	return evalx.New(ds.TrainForcing(), ds.TrainObsPhy(), cfg.Constants, s.evalOpts)
+}
+
+// calibrate pre-calibrates run (or island) idx's starting parameters and
+// seeds the unrevised baseline individual into its initial population.
+// Alternates calibrators across indices for basin diversity.
+func (s *runSetup) calibrate(idx int, runCfg gp.Config) gp.Config {
+	if s.precal == nil {
+		return runCfg
+	}
+	rng := stats.NewRand(runCfg.Seed ^ 0x5ca1ab1e)
+	var c calib.Calibrator = calib.NewGA()
+	if idx%2 == 1 {
+		c = calib.NewSA()
+	}
+	params, _ := c.Calibrate(s.precal, s.lo, s.hi, s.budget, rng)
+	runCfg.InitParams = params
+	// The unrevised input process with its calibrated parameters joins
+	// the initial population: revision starts no worse than the
+	// knowledge-based baseline.
+	baseline := gp.NewIndividual(&tag.DerivNode{Elem: s.g.Alphas[0]}, params)
+	runCfg.SeedIndividuals = []*gp.Individual{baseline}
+	return runCfg
+}
+
+// Run executes GMR on the dataset: builds the knowledge grammar, evolves
+// Config.Runs populations, and evaluates the best revised model on the
+// held-out test window.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), ds, cfg)
+}
+
+// RunContext is Run with graceful cancellation: when ctx is cancelled the
+// in-flight evolutionary run stops at its next generation barrier (via the
+// engine hook), no further runs start, and the models evolved so far are
+// post-processed into a partial Result. Cancellation before any model
+// exists returns ctx's error.
+func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(ds, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{}
 	var pool []*gp.Individual
-	for run := 0; run < cfg.Runs; run++ {
-		// Each run gets a fresh evaluator: the short-circuiting
-		// reference and the tree cache are per-run state, and sharing
-		// them would let earlier runs truncate later runs' evaluations
-		// against a foreign best (turning their reported fitnesses
-		// into boundary-hugging surrogates).
-		ev := evalx.New(ds.TrainForcing(), ds.TrainObsPhy(), cfg.Constants, evalOpts)
-		runCfg := gpCfg
-		runCfg.Seed = gpCfg.Seed + int64(run)*1009
-		if precalObj != nil {
-			rng := stats.NewRand(runCfg.Seed ^ 0x5ca1ab1e)
-			// Alternate calibrators across runs for basin diversity.
-			var c calib.Calibrator = calib.NewGA()
-			if run%2 == 1 {
-				c = calib.NewSA()
+	for run := 0; run < cfg.Runs && ctx.Err() == nil; run++ {
+		ev := s.newEvaluator(ds, cfg)
+		runCfg := s.gpCfg
+		runCfg.Seed = s.gpCfg.Seed + int64(run)*1009
+		runCfg = s.calibrate(run, runCfg)
+		runCfg.Hook = func(int, []*gp.Individual, *gp.Individual) error {
+			if ctx.Err() != nil {
+				return gp.ErrStopRun
 			}
-			params, _ := c.Calibrate(precalObj, lo, hi, budget, rng)
-			runCfg.InitParams = params
-			// The unrevised input process with its calibrated
-			// parameters joins the initial population: revision
-			// starts no worse than the knowledge-based baseline.
-			baseline := gp.NewIndividual(&tag.DerivNode{Elem: g.Alphas[0]}, params)
-			runCfg.SeedIndividuals = []*gp.Individual{baseline}
+			return nil
 		}
-		eng, err := gp.NewEngine(g, ev, runCfg)
+		eng, err := gp.NewEngine(s.g, ev, runCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +225,100 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		st := ev.Stats()
 		res.EvalStats.Add(st)
 	}
+	if len(pool) == 0 && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return finalize(ds, cfg, s.evalOpts, pool, res)
+}
 
+// IslandOptions configures RunIslands' orchestration layer.
+type IslandOptions struct {
+	// Islands is the number of islands (0 means the orchestrator default).
+	Islands int
+	// MigrationEvery is the generation cadence of ring migration
+	// (0 means default; negative disables).
+	MigrationEvery int
+	// Migrants is the elite count each island sends per migration.
+	Migrants int
+	// CheckpointPath enables crash-safe checkpointing when non-empty.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in generations.
+	CheckpointEvery int
+	// Resume restores CheckpointPath before running (the configuration
+	// must match the one that wrote the checkpoint).
+	Resume bool
+	// Telemetry receives the JSONL run telemetry when non-nil.
+	Telemetry io.Writer
+}
+
+// RunIslands executes GMR as an island model: Config.GP populations evolve
+// in parallel with periodic elite migration, instead of Config.Runs
+// isolated sequential restarts. The pooled island models flow through the
+// same reporting protocol as Run. Returns both the GMR result and the
+// orchestrator's run record (generations completed, migrations,
+// interruption status).
+func RunIslands(ctx context.Context, ds *dataset.Dataset, cfg Config, opts IslandOptions) (*Result, *orchestrator.Result, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(ds, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var evals []*evalx.Evaluator
+	ocfg := orchestrator.Config{
+		Islands:        opts.Islands,
+		MigrationEvery: opts.MigrationEvery,
+		Migrants:       opts.Migrants,
+		GP:             s.gpCfg,
+		Grammar:        s.g,
+		NewEvaluator: func(int) gp.Evaluator {
+			ev := s.newEvaluator(ds, cfg) // called sequentially by New
+			evals = append(evals, ev)
+			return ev
+		},
+		CheckpointPath:  opts.CheckpointPath,
+		CheckpointEvery: opts.CheckpointEvery,
+		Telemetry:       opts.Telemetry,
+	}
+	if !opts.Resume {
+		// Pre-calibrate each island's starting parameters. Skipped on
+		// resume: restored engines keep their checkpointed populations,
+		// so the (expensive) calibration output would be discarded.
+		ocfg.ConfigureIsland = func(i int, icfg gp.Config) gp.Config {
+			return s.calibrate(i, icfg)
+		}
+	}
+	o, err := orchestrator.New(ocfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Resume {
+		if opts.CheckpointPath == "" {
+			return nil, nil, fmt.Errorf("core: Resume requires a CheckpointPath")
+		}
+		if err := o.Resume(opts.CheckpointPath); err != nil {
+			return nil, nil, err
+		}
+	}
+	orch, err := o.Run(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &Result{PerRun: orch.PerIsland}
+	for _, ev := range evals {
+		res.EvalStats.Add(ev.Stats())
+	}
+	fin, err := finalize(ds, cfg, s.evalOpts, orch.PoolModels(), res)
+	if err != nil {
+		return nil, orch, err
+	}
+	return fin, orch, nil
+}
+
+// finalize post-processes the pooled candidate models per the paper's
+// reporting protocol and fills in the Result's best-model fields.
+func finalize(ds *dataset.Dataset, cfg Config, evalOpts evalx.Options, pool []*gp.Individual, res *Result) (*Result, error) {
 	// Deduplicate the pool by model identity, keep the (2×TopK)
 	// train-fittest candidates, then rank them by test RMSE — the
 	// paper's reporting protocol (Section IV-D: "best models denote
@@ -256,6 +400,7 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		res.TopTestRMSE = append(res.TopTestRMSE, r.rmse)
 	}
 	res.Best = res.TopModels[0]
+	var err error
 	res.BestPhy, res.BestZoo, err = evalx.ModelExprs(res.Best)
 	if err != nil {
 		return nil, err

@@ -304,6 +304,81 @@ func (e *Evaluator) Stats() Stats { return e.ctr.snapshot() }
 // ResetStats zeroes the work counters (the caches are kept).
 func (e *Evaluator) ResetStats() { e.ctr.reset() }
 
+// Snapshot is a JSON-marshalable copy of the evaluator's atomic work
+// counters, with per-tier hits/misses and derived hit rates — the cache
+// telemetry record consumed by the run orchestrator's JSONL stream and the
+// bencheval snapshot. Tier-1 misses are evaluations that had to run the
+// derive→simplify pipeline; tier-2 misses are evaluations whose fitness was
+// not served from the (structure, params) cache (including all evaluations
+// when caching is disabled).
+type Snapshot struct {
+	Evaluations    int     `json:"evaluations"`
+	FullEvals      int     `json:"full_evals"`
+	ShortCircuits  int     `json:"short_circuits"`
+	Tier1Hits      int     `json:"tier1_hits"`
+	Tier1Misses    int     `json:"tier1_misses"`
+	Tier2Hits      int     `json:"tier2_hits"`
+	Tier2Misses    int     `json:"tier2_misses"`
+	Tier1HitRate   float64 `json:"tier1_hit_rate"`
+	Tier2HitRate   float64 `json:"tier2_hit_rate"`
+	Derives        int     `json:"derives"`
+	Compiles       int     `json:"compiles"`
+	StepsEvaluated int     `json:"steps_evaluated"`
+	StepsPossible  int     `json:"steps_possible"`
+}
+
+// Snapshot returns the JSON-marshalable counter snapshot. It is safe to
+// call concurrently with evaluations; the counters are read atomically
+// (field by field, so a snapshot taken mid-batch is a near-instant rather
+// than perfectly instantaneous cut).
+func (e *Evaluator) Snapshot() Snapshot {
+	st := e.ctr.snapshot()
+	snap := Snapshot{
+		Evaluations:    st.Evaluations,
+		FullEvals:      st.FullEvals,
+		ShortCircuits:  st.ShortCircuits,
+		Tier1Hits:      st.Tier1Hits,
+		Tier1Misses:    st.Evaluations - st.Tier1Hits,
+		Tier2Hits:      st.CacheHits,
+		Tier2Misses:    st.Evaluations - st.CacheHits,
+		Derives:        st.Derives,
+		Compiles:       st.Compiles,
+		StepsEvaluated: st.StepsEvaluated,
+		StepsPossible:  st.StepsPossible,
+	}
+	if snap.Tier1Misses < 0 {
+		snap.Tier1Misses = 0
+	}
+	if snap.Tier2Misses < 0 {
+		snap.Tier2Misses = 0
+	}
+	if st.Evaluations > 0 {
+		snap.Tier1HitRate = float64(st.Tier1Hits) / float64(st.Evaluations)
+		snap.Tier2HitRate = float64(st.CacheHits) / float64(st.Evaluations)
+	}
+	return snap
+}
+
+// ShortCircuitRef returns the committed short-circuiting reference (the
+// best previously fully evaluated fitness; +Inf before any full
+// evaluation). It is checkpoint state: resuming a run with a fresh
+// evaluator but the saved reference reproduces the original evaluator's
+// short-circuit decisions for fully-simulated fitnesses.
+func (e *Evaluator) ShortCircuitRef() float64 {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	return e.bestPrevFull
+}
+
+// SetShortCircuitRef restores a reference captured by ShortCircuitRef. Call
+// between batches (checkpoint resume), not during one.
+func (e *Evaluator) SetShortCircuitRef(f float64) {
+	e.batchMu.Lock()
+	e.bestPrevFull = f
+	e.frozenBits.Store(math.Float64bits(f))
+	e.batchMu.Unlock()
+}
+
 // Evaluate derives the individual's process, applies the configured
 // speedups, and stores the resulting fitness on the individual.
 func (e *Evaluator) Evaluate(ind *gp.Individual) {

@@ -1,6 +1,7 @@
 package evalx
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -460,5 +461,89 @@ func TestTierOneSkipsDeriveAndCompile(t *testing.T) {
 	}
 	if st.Derives != 2 {
 		t.Errorf("fresh individual must re-derive once to build its key: derives=%d", st.Derives)
+	}
+}
+
+func TestSnapshotCountersAndJSON(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	_, g := manualInd(t)
+	ev := New(forcing, obs, consts, Options{UseCache: true, UseCompile: true, Simplify: true, Sim: simCfg(obs)})
+
+	inds := make([]*gp.Individual, 8)
+	for i := range inds {
+		inds[i] = randomInd(t, g, int64(40+i))
+	}
+	ev.BeginBatch()
+	// Round 1: all cold. Round 2: same structures and params → tier-2 hits.
+	// Round 3: same structures, jittered params → tier-1 hits, tier-2 misses.
+	for round := 0; round < 3; round++ {
+		for _, ind := range inds {
+			c := ind.Clone()
+			if round == 2 {
+				c.Params[0] *= 1 + 1e-9
+			}
+			c.Invalidate()
+			ev.Evaluate(c)
+		}
+	}
+	ev.EndBatch()
+
+	snap := ev.Snapshot()
+	if snap.Evaluations != 24 {
+		t.Fatalf("evaluations = %d, want 24", snap.Evaluations)
+	}
+	if snap.Tier1Hits+snap.Tier1Misses != snap.Evaluations {
+		t.Errorf("tier-1 hits %d + misses %d != evaluations %d",
+			snap.Tier1Hits, snap.Tier1Misses, snap.Evaluations)
+	}
+	if snap.Tier2Hits+snap.Tier2Misses != snap.Evaluations {
+		t.Errorf("tier-2 hits %d + misses %d != evaluations %d",
+			snap.Tier2Hits, snap.Tier2Misses, snap.Evaluations)
+	}
+	if snap.Tier2Hits < 8 {
+		t.Errorf("tier-2 hits = %d, want ≥ 8 (round 2 repeats round 1 exactly)", snap.Tier2Hits)
+	}
+	if snap.Tier1Hits < snap.Tier2Hits {
+		t.Errorf("tier-1 hits %d < tier-2 hits %d; jittered params should still hit tier 1",
+			snap.Tier1Hits, snap.Tier2Hits)
+	}
+	if r := snap.Tier1HitRate; r <= 0 || r > 1 {
+		t.Errorf("tier-1 hit rate %v outside (0, 1]", r)
+	}
+
+	// The snapshot must survive a JSON round-trip unchanged (it feeds the
+	// orchestrator's JSONL telemetry).
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != snap {
+		t.Errorf("snapshot changed through JSON round-trip:\n  %+v\n  %+v", back, snap)
+	}
+}
+
+func TestShortCircuitRefRoundTrip(t *testing.T) {
+	forcing, obs, consts := smallData(t)
+	ev := New(forcing, obs, consts, Options{UseShortCircuit: true, Sim: simCfg(obs)})
+	if ref := ev.ShortCircuitRef(); !math.IsInf(ref, 1) {
+		t.Fatalf("fresh evaluator reference = %v, want +Inf", ref)
+	}
+	ind, _ := manualInd(t)
+	ev.BeginBatch()
+	ev.Evaluate(ind)
+	ev.EndBatch()
+	ref := ev.ShortCircuitRef()
+	if ref != ind.Fitness {
+		t.Fatalf("committed reference %v != full fitness %v", ref, ind.Fitness)
+	}
+	// A fresh evaluator with the restored reference reports the same state.
+	ev2 := New(forcing, obs, consts, Options{UseShortCircuit: true, Sim: simCfg(obs)})
+	ev2.SetShortCircuitRef(ref)
+	if got := ev2.ShortCircuitRef(); got != ref {
+		t.Fatalf("restored reference %v != %v", got, ref)
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"gmr/internal/bio"
 	"gmr/internal/core"
 	"gmr/internal/dataset"
@@ -35,7 +37,9 @@ func UnconstrainedExtensions() []grammar.Extension {
 // budget: the full Table II constraints, the unconstrained variable sets,
 // and no pre-calibrated starting parameters. It quantifies the paper's
 // central claim that prior knowledge guides the revision search.
-func AblationKnowledge(ds *dataset.Dataset, sc Scale, seed int64) ([]AblationRow, error) {
+// Cancelling ctx stops the sweep at the next setting boundary (partial
+// settings are dropped — rows are only comparable at equal budget).
+func AblationKnowledge(ctx context.Context, ds *dataset.Dataset, sc Scale, seed int64) ([]AblationRow, error) {
 	type setting struct {
 		name string
 		mod  func(*core.Config)
@@ -51,11 +55,17 @@ func AblationKnowledge(ds *dataset.Dataset, sc Scale, seed int64) ([]AblationRow
 	}
 	var rows []AblationRow
 	for _, s := range settings {
+		if ctx.Err() != nil {
+			return rows, ctx.Err()
+		}
 		cfg := gmrConfig(sc, seed)
 		s.mod(&cfg)
-		res, err := core.Run(ds, cfg)
+		res, err := core.RunContext(ctx, ds, cfg)
 		if err != nil {
-			return nil, err
+			return rows, err
+		}
+		if ctx.Err() != nil {
+			return rows, ctx.Err()
 		}
 		rows = append(rows, AblationRow{
 			Config:    s.name,

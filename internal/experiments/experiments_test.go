@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -48,7 +49,7 @@ func TestScaleByName(t *testing.T) {
 
 func TestTableVSubset(t *testing.T) {
 	ds := tinyData(t)
-	rows, err := TableV(ds, tinyScale, 1, map[string]bool{
+	rows, err := TableV(context.Background(), ds, tinyScale, 1, map[string]bool{
 		"MANUAL": true, "SA": true, "GMR": true, "ARIMAX-S1": true,
 	})
 	if err != nil {
@@ -79,7 +80,7 @@ func TestTableVSubset(t *testing.T) {
 
 func TestFig10ShapeEveryTechniqueHelps(t *testing.T) {
 	ds := tinyData(t)
-	rows, err := Fig10(ds, tinyScale, 24, 2)
+	rows, err := Fig10(context.Background(), ds, tinyScale, 24, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFig10ShapeEveryTechniqueHelps(t *testing.T) {
 
 func TestFig11ThresholdShape(t *testing.T) {
 	ds := tinyData(t)
-	rows, err := Fig11(ds, tinyScale, 3)
+	rows, err := Fig11(context.Background(), ds, tinyScale, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestFig11ThresholdShape(t *testing.T) {
 
 func TestFig9SelectivityRuns(t *testing.T) {
 	ds := tinyData(t)
-	sel, res, err := Fig9(ds, tinyScale, 4)
+	sel, res, err := Fig9(context.Background(), ds, tinyScale, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestDefaultDataset(t *testing.T) {
 
 func TestAblationKnowledge(t *testing.T) {
 	ds := tinyData(t)
-	rows, err := AblationKnowledge(ds, tinyScale, 5)
+	rows, err := AblationKnowledge(context.Background(), ds, tinyScale, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,10 +221,42 @@ func TestMarkdownWriters(t *testing.T) {
 	}
 }
 
+func TestIslandsExperiment(t *testing.T) {
+	ds := tinyData(t)
+	var tele strings.Builder
+	res, err := Islands(context.Background(), ds, tinyScale, 6, IslandsOptions{
+		Islands:        2,
+		MigrationEvery: 1,
+		Migrants:       1,
+		Telemetry:      &tele,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row.Method != "GMR-Islands" {
+		t.Errorf("row method = %q", res.Row.Method)
+	}
+	if math.IsNaN(res.Row.TestRMSE) || math.IsInf(res.Row.TestRMSE, 0) {
+		t.Errorf("invalid test RMSE %v", res.Row.TestRMSE)
+	}
+	if res.Orch.Generations != tinyScale.GMRGen {
+		t.Errorf("completed %d generations, want %d", res.Orch.Generations, tinyScale.GMRGen)
+	}
+	if res.Orch.Migrations == 0 {
+		t.Error("no migrations with MigrationEvery=1")
+	}
+	out := tele.String()
+	for _, want := range []string{`"type":"gen"`, `"type":"migration"`, `"tier1_hit_rate"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry stream missing %s", want)
+		}
+	}
+}
+
 func TestRobustnessAggregation(t *testing.T) {
 	// Tiny scale, tiny datasets: exercise the aggregation path only.
 	sc := tinyScale
-	rows, err := Robustness(sc, []int64{21, 22}, []string{"MANUAL", "SA"})
+	rows, err := Robustness(context.Background(), sc, []int64{21, 22}, []string{"MANUAL", "SA"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +271,7 @@ func TestRobustnessAggregation(t *testing.T) {
 			t.Errorf("%s: mean %v", r.Method, r.Mean)
 		}
 	}
-	if _, err := Robustness(sc, nil, nil); err == nil {
+	if _, err := Robustness(context.Background(), sc, nil, nil); err == nil {
 		t.Error("empty seed list accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -13,9 +14,11 @@ import (
 )
 
 // Fig9 reproduces Figure 9: run GMR, pool the best models, and compute
-// variable selectivity with perturbation correlations.
-func Fig9(ds *dataset.Dataset, sc Scale, seed int64) ([]core.Selectivity, *core.Result, error) {
-	_, res, err := RunGMR(ds, sc, seed)
+// variable selectivity with perturbation correlations. Cancelling ctx
+// stops the GMR runs at the next generation barrier and analyzes the
+// models evolved so far.
+func Fig9(ctx context.Context, ds *dataset.Dataset, sc Scale, seed int64) ([]core.Selectivity, *core.Result, error) {
+	_, res, err := RunGMR(ctx, ds, sc, seed)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -91,7 +94,9 @@ func fig10Population(n int, seed int64) ([]*gp.Individual, error) {
 
 // Fig10 measures mean per-individual evaluation time for each speedup
 // combination over an identical workload of popSize individuals.
-func Fig10(ds *dataset.Dataset, sc Scale, popSize int, seed int64) ([]Fig10Row, error) {
+// Cancelling ctx stops the sweep at the next combination boundary and
+// returns the rows measured so far with ctx's error.
+func Fig10(ctx context.Context, ds *dataset.Dataset, sc Scale, popSize int, seed int64) ([]Fig10Row, error) {
 	pop, err := fig10Population(popSize, seed)
 	if err != nil {
 		return nil, err
@@ -101,6 +106,9 @@ func Fig10(ds *dataset.Dataset, sc Scale, popSize int, seed int64) ([]Fig10Row, 
 	var rows []Fig10Row
 	var baseline time.Duration
 	for _, combo := range Fig10Combos() {
+		if ctx.Err() != nil {
+			return rows, ctx.Err()
+		}
 		opts := evalx.Options{
 			UseCache:        combo.TC,
 			UseShortCircuit: combo.ES,
@@ -146,8 +154,10 @@ type Fig11Row struct {
 }
 
 // Fig11 sweeps the short-circuiting threshold (no-ES, 1.0, 0.7, 1.3 — the
-// paper's settings) with otherwise identical GMR runs.
-func Fig11(ds *dataset.Dataset, sc Scale, seed int64) ([]Fig11Row, error) {
+// paper's settings) with otherwise identical GMR runs. Cancelling ctx
+// stops the sweep at the next setting boundary and returns the rows
+// completed so far with ctx's error.
+func Fig11(ctx context.Context, ds *dataset.Dataset, sc Scale, seed int64) ([]Fig11Row, error) {
 	type setting struct {
 		label string
 		es    bool
@@ -161,12 +171,20 @@ func Fig11(ds *dataset.Dataset, sc Scale, seed int64) ([]Fig11Row, error) {
 	}
 	var rows []Fig11Row
 	for _, s := range settings {
+		if ctx.Err() != nil {
+			return rows, ctx.Err()
+		}
 		cfg := gmrConfig(sc, seed)
 		cfg.Eval.UseShortCircuit = s.es
 		cfg.Eval.Threshold = s.th
-		res, err := core.Run(ds, cfg)
+		res, err := core.RunContext(ctx, ds, cfg)
 		if err != nil {
-			return nil, err
+			return rows, err
+		}
+		if ctx.Err() != nil {
+			// A truncated run is not comparable across thresholds:
+			// drop the partial row.
+			return rows, ctx.Err()
 		}
 		full := 0
 		for _, m := range res.TopModels {

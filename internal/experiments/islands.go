@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"gmr/internal/core"
+	"gmr/internal/dataset"
+	"gmr/internal/orchestrator"
+)
+
+// IslandsOptions configures the island-model GMR experiment.
+type IslandsOptions struct {
+	// Islands is the island count; 0 derives it from the scale's GMRRuns
+	// (capped at 8) so the island run spends a comparable budget to the
+	// sequential protocol it replaces.
+	Islands int
+	// MigrationEvery is the ring-migration cadence in generations
+	// (0 = orchestrator default, negative disables).
+	MigrationEvery int
+	// Migrants is the per-migration elite count (0 = default).
+	Migrants int
+	// CheckpointPath enables crash-safe checkpointing when non-empty;
+	// with Resume set the run restores from it instead of starting fresh.
+	CheckpointPath  string
+	CheckpointEvery int
+	Resume          bool
+	// Telemetry receives the JSONL run stream (per-island generation
+	// stats, migration events, evaluator cache snapshots) when non-nil.
+	Telemetry io.Writer
+}
+
+// IslandsResult bundles the island experiment's outputs: the Table V-style
+// accuracy row, the full GMR result (best model, top models, eval stats),
+// and the orchestrator's run record (generations, migrations, interruption).
+type IslandsResult struct {
+	Row  TableVRow
+	Core *core.Result
+	Orch *orchestrator.Result
+}
+
+// Islands runs GMR as an island model at the given scale: the scale's
+// independent sequential runs become cooperating populations exchanging
+// elites on a ring. Cancelling ctx stops the islands at the next generation
+// barrier, writes a checkpoint when configured, and reports the models
+// evolved so far.
+func Islands(ctx context.Context, ds *dataset.Dataset, sc Scale, seed int64, opts IslandsOptions) (*IslandsResult, error) {
+	start := time.Now()
+	if opts.Islands == 0 {
+		opts.Islands = sc.GMRRuns
+		if opts.Islands > 8 {
+			opts.Islands = 8
+		}
+		if opts.Islands < 1 {
+			opts.Islands = 1
+		}
+	}
+	cfg := gmrConfig(sc, seed)
+	res, orch, err := core.RunIslands(ctx, ds, cfg, core.IslandOptions{
+		Islands:         opts.Islands,
+		MigrationEvery:  opts.MigrationEvery,
+		Migrants:        opts.Migrants,
+		CheckpointPath:  opts.CheckpointPath,
+		CheckpointEvery: opts.CheckpointEvery,
+		Resume:          opts.Resume,
+		Telemetry:       opts.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IslandsResult{
+		Row: TableVRow{
+			Class: "Model revision", Method: "GMR-Islands",
+			TrainRMSE: res.TrainRMSE, TrainMAE: res.TrainMAE,
+			TestRMSE: res.TestRMSE, TestMAE: res.TestMAE,
+			Seconds: time.Since(start).Seconds(),
+		},
+		Core: res,
+		Orch: orch,
+	}, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gmr/internal/dataset"
@@ -20,8 +21,10 @@ type RobustnessRow struct {
 
 // Robustness reruns a subset of Table V methods over several dataset seeds
 // and aggregates test RMSE. Methods defaults to {MANUAL, SA, GGGP, GMR}
-// when nil — one representative per class.
-func Robustness(sc Scale, seeds []int64, methods []string) ([]RobustnessRow, error) {
+// when nil — one representative per class. Cancelling ctx stops the sweep
+// at the next dataset-seed boundary, aggregating the seeds completed so
+// far.
+func Robustness(ctx context.Context, sc Scale, seeds []int64, methods []string) ([]RobustnessRow, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: no dataset seeds")
 	}
@@ -34,13 +37,20 @@ func Robustness(sc Scale, seeds []int64, methods []string) ([]RobustnessRow, err
 	}
 	acc := map[string][]float64{}
 	for _, seed := range seeds {
+		if ctx.Err() != nil {
+			break
+		}
 		ds, err := dataset.Generate(dataset.Config{Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		rows, err := TableV(ds, sc, seed, filter)
-		if err != nil {
+		rows, err := TableV(ctx, ds, sc, seed, filter)
+		if err != nil && ctx.Err() == nil {
 			return nil, err
+		}
+		if ctx.Err() != nil {
+			// A partially run seed would bias the aggregate: drop it.
+			break
 		}
 		for _, r := range rows {
 			acc[r.Method] = append(acc[r.Method], r.TestRMSE)
@@ -59,5 +69,5 @@ func Robustness(sc Scale, seeds []int64, methods []string) ([]RobustnessRow, err
 			PerSeed: vals,
 		})
 	}
-	return out, nil
+	return out, ctx.Err()
 }

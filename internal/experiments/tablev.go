@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -33,9 +34,13 @@ type TableVRow struct {
 
 // TableV runs all sixteen methods of the paper's Table V / Figure 1 and
 // returns their rows in the paper's order. methods filters by name when
-// non-empty.
-func TableV(ds *dataset.Dataset, sc Scale, seed int64, methods map[string]bool) ([]TableVRow, error) {
-	want := func(name string) bool { return len(methods) == 0 || methods[name] }
+// non-empty. Cancelling ctx stops the suite at the next method boundary
+// (and stops GMR at its next generation barrier), returning the rows
+// completed so far alongside ctx's error.
+func TableV(ctx context.Context, ds *dataset.Dataset, sc Scale, seed int64, methods map[string]bool) ([]TableVRow, error) {
+	want := func(name string) bool {
+		return ctx.Err() == nil && (len(methods) == 0 || methods[name])
+	}
 	var rows []TableVRow
 	add := func(row TableVRow, err error) error {
 		if err != nil {
@@ -92,12 +97,12 @@ func TableV(ds *dataset.Dataset, sc Scale, seed int64, methods map[string]bool) 
 		}
 	}
 	if want("GMR") {
-		row, _, err := RunGMR(ds, sc, seed)
+		row, _, err := RunGMR(ctx, ds, sc, seed)
 		if err := add(row, err); err != nil {
 			return rows, err
 		}
 	}
-	return rows, nil
+	return rows, ctx.Err()
 }
 
 // score evaluates free-run predictions of a process-model parameterization
@@ -253,11 +258,13 @@ func runGGGP(ds *dataset.Dataset, sc Scale, seed int64) (TableVRow, error) {
 }
 
 // RunGMR runs GMR at the given scale and returns both its Table V row and
-// the full result (reused by the Figure 9/11 experiments).
-func RunGMR(ds *dataset.Dataset, sc Scale, seed int64) (TableVRow, *core.Result, error) {
+// the full result (reused by the Figure 9/11 experiments). Cancelling ctx
+// stops the evolutionary runs at the next generation barrier and reports
+// the models evolved so far.
+func RunGMR(ctx context.Context, ds *dataset.Dataset, sc Scale, seed int64) (TableVRow, *core.Result, error) {
 	start := time.Now()
 	cfg := gmrConfig(sc, seed)
-	res, err := core.Run(ds, cfg)
+	res, err := core.RunContext(ctx, ds, cfg)
 	if err != nil {
 		return TableVRow{Method: "GMR"}, nil, err
 	}

@@ -5,34 +5,79 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"gmr/internal/tag"
 )
 
-// savedModel is the on-disk form of an individual: the derivation tree
-// (structure) plus the constant-parameter vector.
-type savedModel struct {
-	Params []float64       `json:"params"`
-	Deriv  json.RawMessage `json:"derivation"`
+// SavedIndividual is the on-disk form of an individual: the derivation tree
+// (structure), the constant-parameter vector, and — for checkpoints — the
+// evaluation state. The fitness travels as math.Float64bits so the
+// round-trip is bitwise exact even for ±Inf (which plain JSON numbers
+// cannot represent); params rely on encoding/json's shortest-round-trip
+// float formatting, which is exact for all finite float64 values.
+type SavedIndividual struct {
+	Params      []float64       `json:"params"`
+	Deriv       json.RawMessage `json:"derivation"`
+	FitnessBits uint64          `json:"fitness_bits,omitempty"`
+	Evaluated   bool            `json:"evaluated,omitempty"`
+	FullEval    bool            `json:"full_eval,omitempty"`
+}
+
+// Saved serializes the individual, including its evaluation state.
+func (ind *Individual) Saved() (*SavedIndividual, error) {
+	var buf bytes.Buffer
+	if err := tag.Encode(&buf, ind.Deriv); err != nil {
+		return nil, err
+	}
+	return &SavedIndividual{
+		Params:      ind.Params,
+		Deriv:       buf.Bytes(),
+		FitnessBits: math.Float64bits(ind.Fitness),
+		Evaluated:   ind.Evaluated,
+		FullEval:    ind.FullEval,
+	}, nil
+}
+
+// Resolve reconstructs the individual against the grammar, restoring the
+// saved evaluation state (an individual saved as evaluated comes back with
+// its exact fitness and is not re-evaluated — required for bitwise-
+// deterministic checkpoint resume). The memoized structure key is not
+// persisted; evaluators recompute it on first contact.
+func (s *SavedIndividual) Resolve(g *tag.Grammar) (*Individual, error) {
+	d, err := g.Decode(bytes.NewReader(s.Deriv))
+	if err != nil {
+		return nil, err
+	}
+	ind := NewIndividual(d, s.Params)
+	if s.Evaluated {
+		ind.Fitness = math.Float64frombits(s.FitnessBits)
+		ind.Evaluated = true
+		ind.FullEval = s.FullEval
+	}
+	return ind, nil
 }
 
 // Save writes the individual as JSON, suitable for LoadIndividual against
 // the same grammar.
 func (ind *Individual) Save(w io.Writer) error {
-	var buf bytes.Buffer
-	if err := tag.Encode(&buf, ind.Deriv); err != nil {
+	sm, err := ind.Saved()
+	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(savedModel{Params: ind.Params, Deriv: buf.Bytes()})
+	return enc.Encode(sm)
 }
 
 // LoadIndividual reads an individual saved by Save, resolving its
 // derivation tree against the grammar. The individual is returned
-// unevaluated.
+// unevaluated: a deployed model's stored fitness belongs to the training
+// context it was saved from, so loaders re-evaluate in their own context.
+// (Checkpoint restore, which must preserve fitnesses exactly, goes through
+// SavedIndividual.Resolve instead.)
 func LoadIndividual(r io.Reader, g *tag.Grammar) (*Individual, error) {
-	var sm savedModel
+	var sm SavedIndividual
 	if err := json.NewDecoder(r).Decode(&sm); err != nil {
 		return nil, fmt.Errorf("gp: load: %v", err)
 	}
@@ -40,6 +85,5 @@ func LoadIndividual(r io.Reader, g *tag.Grammar) (*Individual, error) {
 	if err != nil {
 		return nil, err
 	}
-	ind := NewIndividual(d, sm.Params)
-	return ind, nil
+	return NewIndividual(d, sm.Params), nil
 }

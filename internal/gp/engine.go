@@ -1,6 +1,7 @@
 package gp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,6 +13,11 @@ import (
 	"gmr/internal/stats"
 	"gmr/internal/tag"
 )
+
+// ErrStopRun, returned by a Config.Hook, stops Run gracefully after the
+// current generation: Run returns the result accumulated so far with a nil
+// error (used for SIGINT-driven early exit that keeps partial progress).
+var ErrStopRun = errors.New("gp: stop run")
 
 // Config holds the TAG3P parameters (Section III-B2 and Appendix B).
 type Config struct {
@@ -79,6 +85,14 @@ type Config struct {
 	Seed int64
 	// Workers bounds evaluation parallelism; zero means GOMAXPROCS.
 	Workers int
+	// Hook, when non-nil, is called by Run after every completed
+	// generation with the generation number, the fitness-sorted
+	// population, and the best-ever individual (both read-only). A
+	// non-nil return stops the run: ErrStopRun stops it gracefully
+	// (Run returns the partial result), any other error aborts it.
+	// Callers that need full pause/checkpoint control should drive the
+	// engine through Start/StepGen/Snapshot instead.
+	Hook func(gen int, pop []*Individual, best *Individual) error `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -149,18 +163,34 @@ type Result struct {
 }
 
 // Engine runs TAG3P over a grammar with a fitness evaluator.
+//
+// Two drive modes are supported. Run executes the whole loop in one call.
+// Alternatively, callers needing pause/migration/checkpoint control step the
+// engine explicitly: Start (initialize or resume), StepGen (one generation),
+// Snapshot/Restore (serializable state at a generation boundary), and Close
+// (release the worker pool). The island orchestrator uses the step surface.
 type Engine struct {
 	cfg  Config
 	g    *tag.Grammar
 	eval Evaluator
-	rng  *rand.Rand
+	rng  *stats.RNG
 
 	evaluations int
 
+	// Stepping state: the current fitness-sorted population, the
+	// completed-generation counter, the best-ever individual, and the
+	// per-generation history. Populated by Start (or Restore) and
+	// advanced by StepGen.
+	pop     []*Individual
+	gen     int
+	best    *Individual
+	history []GenStats
+
 	// jobCh feeds the persistent evaluation worker pool; non-nil only
-	// while Run is executing (see startWorkers).
-	jobCh    chan evalJob
-	workerWG sync.WaitGroup
+	// between Start and Close (see startWorkers).
+	jobCh       chan evalJob
+	workerWG    sync.WaitGroup
+	stopWorkers func()
 }
 
 // evalJob is one unit of work for the evaluation worker pool: evaluate the
@@ -223,7 +253,7 @@ func NewEngine(g *tag.Grammar, eval Evaluator, cfg Config) (*Engine, error) {
 	if cfg.PopSize < 2 {
 		return nil, fmt.Errorf("gp: population size %d too small", cfg.PopSize)
 	}
-	return &Engine{cfg: cfg, g: g, eval: eval, rng: stats.NewRand(cfg.Seed)}, nil
+	return &Engine{cfg: cfg, g: g, eval: eval, rng: stats.NewRNG(cfg.Seed)}, nil
 }
 
 // initialParams draws a starting parameter vector.
@@ -256,11 +286,40 @@ func (e *Engine) sigmaScale(gen int) float64 {
 
 // Run executes the full evolutionary loop of Figure 5 and returns the
 // result. It is deterministic for a fixed Config (including Seed) and
-// evaluator behavior.
+// evaluator behavior. Run is Start + StepGen×MaxGen + Result with the
+// optional Config.Hook called after every generation.
 func (e *Engine) Run() (*Result, error) {
+	if err := e.Start(); err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	for e.gen < e.cfg.MaxGen {
+		if err := e.StepGen(); err != nil {
+			return nil, err
+		}
+		if e.cfg.Hook != nil {
+			if err := e.cfg.Hook(e.gen, e.pop, e.best); err != nil {
+				if errors.Is(err, ErrStopRun) {
+					break
+				}
+				return nil, err
+			}
+		}
+	}
+	return e.Result(), nil
+}
+
+// Start launches the evaluation worker pool and, unless state was installed
+// by Restore, builds and evaluates the initial population (generation 0).
+// It is idempotent.
+func (e *Engine) Start() error {
+	if e.jobCh == nil {
+		e.stopWorkers = e.startWorkers()
+	}
+	if e.pop != nil {
+		return nil // resumed from a snapshot, or already started
+	}
 	cfg := e.cfg
-	stop := e.startWorkers()
-	defer stop()
 	pop := make([]*Individual, 0, cfg.PopSize)
 	for _, seed := range cfg.SeedIndividuals {
 		if len(pop) < cfg.PopSize {
@@ -268,63 +327,144 @@ func (e *Engine) Run() (*Result, error) {
 		}
 	}
 	for len(pop) < cfg.PopSize {
-		d, err := e.g.RandomDeriv(e.rng, cfg.MinSize, cfg.InitMaxSize)
+		d, err := e.g.RandomDeriv(e.rng.Rand, cfg.MinSize, cfg.InitMaxSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pop = append(pop, NewIndividual(d, e.initialParams(e.rng)))
+		pop = append(pop, NewIndividual(d, e.initialParams(e.rng.Rand)))
 	}
 	e.evaluatePop(pop, nil)
 	sortByFitness(pop)
+	e.pop = pop
+	e.gen = 0
+	e.best = pop[0].Clone()
+	e.history = []GenStats{e.genStats(0, pop)}
+	return nil
+}
 
-	res := &Result{Best: pop[0].Clone()}
-	res.History = append(res.History, e.genStats(0, pop))
-
-	for gen := 1; gen <= cfg.MaxGen; gen++ {
-		next := make([]*Individual, 0, cfg.PopSize)
-		for i := 0; i < cfg.EliteSize && i < len(pop); i++ {
-			next = append(next, pop[i].Clone())
-		}
-		var fresh []*Individual
-		sigma := e.sigmaScale(gen)
-		sel := func() *Individual {
-			return e.selectParent(pop)
-		}
-		for len(next)+len(fresh) < cfg.PopSize {
-			op := e.pickOperator()
-			switch op {
-			case opCrossover:
-				a := sel()
-				b := sel()
-				c1, c2 := Crossover(e.rng, a, b, cfg.MinSize, cfg.MaxSize)
-				fresh = append(fresh, c1)
-				if len(next)+len(fresh) < cfg.PopSize {
-					fresh = append(fresh, c2)
-				}
-			case opSubtree:
-				fresh = append(fresh, SubtreeMutation(e.rng, e.g, sel(), cfg.MaxSize))
-			case opGauss:
-				fresh = append(fresh, GaussianMutation(e.rng, sel(), cfg.Priors, sigma, cfg.GaussPerParam))
-			default: // replication
-				fresh = append(fresh, sel().Clone())
-			}
-		}
-		// Evaluate offspring, then run local search on each (both
-		// inside one parallel phase with per-individual RNG streams).
-		e.evaluatePop(fresh, e.localSearch)
-		next = append(next, fresh...)
-		pop = next
-		sortByFitness(pop)
-		e.refineElite(pop[0], sigma)
-		sortByFitness(pop)
-		if pop[0].Fitness < res.Best.Fitness {
-			res.Best = pop[0].Clone()
-		}
-		res.History = append(res.History, e.genStats(gen, pop))
+// StepGen advances the engine by exactly one generation: selection,
+// variation, parallel evaluation + local search, elitist replacement, and
+// champion refinement. Start must have been called.
+func (e *Engine) StepGen() error {
+	if e.pop == nil || e.jobCh == nil {
+		return fmt.Errorf("gp: StepGen before Start")
 	}
-	res.Final = pop
-	res.Evaluations = e.evaluations
-	return res, nil
+	cfg := e.cfg
+	pop := e.pop
+	gen := e.gen + 1
+	next := make([]*Individual, 0, cfg.PopSize)
+	for i := 0; i < cfg.EliteSize && i < len(pop); i++ {
+		next = append(next, pop[i].Clone())
+	}
+	var fresh []*Individual
+	sigma := e.sigmaScale(gen)
+	sel := func() *Individual {
+		return e.selectParent(pop)
+	}
+	for len(next)+len(fresh) < cfg.PopSize {
+		op := e.pickOperator()
+		switch op {
+		case opCrossover:
+			a := sel()
+			b := sel()
+			c1, c2 := Crossover(e.rng.Rand, a, b, cfg.MinSize, cfg.MaxSize)
+			fresh = append(fresh, c1)
+			if len(next)+len(fresh) < cfg.PopSize {
+				fresh = append(fresh, c2)
+			}
+		case opSubtree:
+			fresh = append(fresh, SubtreeMutation(e.rng.Rand, e.g, sel(), cfg.MaxSize))
+		case opGauss:
+			fresh = append(fresh, GaussianMutation(e.rng.Rand, sel(), cfg.Priors, sigma, cfg.GaussPerParam))
+		default: // replication
+			fresh = append(fresh, sel().Clone())
+		}
+	}
+	// Evaluate offspring, then run local search on each (both
+	// inside one parallel phase with per-individual RNG streams).
+	e.evaluatePop(fresh, e.localSearch)
+	next = append(next, fresh...)
+	pop = next
+	sortByFitness(pop)
+	e.refineElite(pop[0], sigma)
+	sortByFitness(pop)
+	if pop[0].Fitness < e.best.Fitness {
+		e.best = pop[0].Clone()
+	}
+	e.pop = pop
+	e.gen = gen
+	e.history = append(e.history, e.genStats(gen, pop))
+	return nil
+}
+
+// Close drains and releases the evaluation worker pool. The engine's state
+// remains readable (Population, Best, Result); calling Start again relaunches
+// the pool. Close is idempotent.
+func (e *Engine) Close() {
+	if e.stopWorkers != nil {
+		e.stopWorkers()
+		e.stopWorkers = nil
+	}
+}
+
+// Gen returns the number of completed generations (0 after Start).
+func (e *Engine) Gen() int { return e.gen }
+
+// Population returns the current fitness-sorted population. The slice and
+// its individuals are owned by the engine; callers must not mutate them.
+func (e *Engine) Population() []*Individual { return e.pop }
+
+// Best returns the best-ever individual (engine-owned; treat as read-only).
+func (e *Engine) Best() *Individual { return e.best }
+
+// Evaluations returns the cumulative number of Evaluate calls issued.
+func (e *Engine) Evaluations() int { return e.evaluations }
+
+// LastStats returns the most recent generation's statistics.
+func (e *Engine) LastStats() GenStats {
+	if len(e.history) == 0 {
+		return GenStats{}
+	}
+	return e.history[len(e.history)-1]
+}
+
+// Result assembles the run outcome from the engine's current state.
+func (e *Engine) Result() *Result {
+	res := &Result{
+		Final:       e.pop,
+		History:     append([]GenStats(nil), e.history...),
+		Evaluations: e.evaluations,
+	}
+	if e.best != nil {
+		res.Best = e.best.Clone()
+	}
+	return res
+}
+
+// ReplaceWorst injects clones of the given migrants over the worst
+// individuals of the current population (island-model elite migration), then
+// re-sorts and updates the best-ever individual. At most PopSize-EliteSize
+// individuals are replaced, so resident elites always survive; migration is
+// deterministic and draws no randomness. It returns the number injected.
+func (e *Engine) ReplaceWorst(migrants []*Individual) int {
+	if e.pop == nil {
+		return 0
+	}
+	n := len(migrants)
+	if max := len(e.pop) - e.cfg.EliteSize; n > max {
+		n = max
+	}
+	if n <= 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		e.pop[len(e.pop)-1-i] = migrants[i].Clone()
+	}
+	sortByFitness(e.pop)
+	if e.best == nil || e.pop[0].Fitness < e.best.Fitness {
+		e.best = e.pop[0].Clone()
+	}
+	return n
 }
 
 type operator int
@@ -419,7 +559,7 @@ func (e *Engine) refineElite(ind *Individual, sigma float64) {
 	e.eval.BeginBatch()
 	for step := 0; step < e.cfg.EliteRefineSteps; step++ {
 		scale := sigma * (0.5 - 0.4*float64(step)/float64(e.cfg.EliteRefineSteps))
-		cand := GaussianMutation(e.rng, ind, e.cfg.Priors, scale, e.cfg.GaussPerParam)
+		cand := GaussianMutation(e.rng.Rand, ind, e.cfg.Priors, scale, e.cfg.GaussPerParam)
 		e.eval.Evaluate(cand)
 		e.evaluations++
 		if cand.Fitness < ind.Fitness {
@@ -438,7 +578,7 @@ func (e *Engine) refineElite(ind *Individual, sigma float64) {
 func (e *Engine) evaluatePop(pop []*Individual, followUp func(*Individual, *rand.Rand) int) {
 	rngs := make([]*rand.Rand, len(pop))
 	for i := range pop {
-		rngs[i] = stats.Split(e.rng)
+		rngs[i] = stats.Split(e.rng.Rand)
 	}
 	e.eval.BeginBatch()
 	var wg sync.WaitGroup

@@ -1,0 +1,150 @@
+package gp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// This file implements the engine's pause/snapshot surface: the serializable
+// state of a run at a generation boundary. A snapshot captures everything
+// StepGen depends on — the fitness-sorted population with exact fitnesses,
+// the generation counter (which also fixes the σ-schedule position), the
+// best-ever individual, the per-generation history, the evaluation counter,
+// and the RNG state — so that restore + StepGen is bitwise-identical to
+// never having paused, provided the evaluator computes fitness as a pure
+// function of (structure, params). See DESIGN.md §8 for the determinism
+// contract.
+
+// SnapshotVersion is the EngineSnapshot schema version; Restore rejects
+// snapshots written by an incompatible engine.
+const SnapshotVersion = 1
+
+// EngineSnapshot is the serializable state of an engine at a generation
+// boundary. Produce with Engine.Snapshot, install with Engine.Restore.
+type EngineSnapshot struct {
+	Version     int                `json:"version"`
+	Gen         int                `json:"gen"`
+	Evaluations int                `json:"evaluations"`
+	RNG         json.RawMessage    `json:"rng"`
+	Best        *SavedIndividual   `json:"best"`
+	History     []GenStats         `json:"history"`
+	Population  []*SavedIndividual `json:"population"`
+}
+
+// Snapshot serializes the engine's current state. The engine must have been
+// started (the population exists); the worker pool is not part of the state
+// and keeps running.
+func (e *Engine) Snapshot() (*EngineSnapshot, error) {
+	if e.pop == nil {
+		return nil, fmt.Errorf("gp: snapshot: engine not started")
+	}
+	rngJSON, err := json.Marshal(e.rng)
+	if err != nil {
+		return nil, fmt.Errorf("gp: snapshot: rng: %v", err)
+	}
+	best, err := e.best.Saved()
+	if err != nil {
+		return nil, fmt.Errorf("gp: snapshot: best: %v", err)
+	}
+	snap := &EngineSnapshot{
+		Version:     SnapshotVersion,
+		Gen:         e.gen,
+		Evaluations: e.evaluations,
+		RNG:         rngJSON,
+		Best:        best,
+		History:     append([]GenStats(nil), e.history...),
+		Population:  make([]*SavedIndividual, len(e.pop)),
+	}
+	for i, ind := range e.pop {
+		s, err := ind.Saved()
+		if err != nil {
+			return nil, fmt.Errorf("gp: snapshot: individual %d: %v", i, err)
+		}
+		snap.Population[i] = s
+	}
+	return snap, nil
+}
+
+// Restore installs a snapshot into a freshly constructed engine (same
+// grammar, same Config — the determinism contract requires it). It must be
+// called before Start; Start then only launches the worker pool and the run
+// continues exactly where the snapshot paused.
+func (e *Engine) Restore(snap *EngineSnapshot) error {
+	if snap == nil {
+		return fmt.Errorf("gp: restore: nil snapshot")
+	}
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("gp: restore: snapshot version %d, engine supports %d", snap.Version, SnapshotVersion)
+	}
+	if e.pop != nil {
+		return fmt.Errorf("gp: restore: engine already started")
+	}
+	if len(snap.Population) != e.cfg.PopSize {
+		return fmt.Errorf("gp: restore: snapshot population %d does not match configured PopSize %d",
+			len(snap.Population), e.cfg.PopSize)
+	}
+	if snap.Best == nil {
+		return fmt.Errorf("gp: restore: snapshot has no best individual")
+	}
+	if err := json.Unmarshal(snap.RNG, e.rng); err != nil {
+		return fmt.Errorf("gp: restore: rng: %v", err)
+	}
+	best, err := snap.Best.Resolve(e.g)
+	if err != nil {
+		return fmt.Errorf("gp: restore: best: %v", err)
+	}
+	pop := make([]*Individual, len(snap.Population))
+	for i, s := range snap.Population {
+		ind, err := s.Resolve(e.g)
+		if err != nil {
+			return fmt.Errorf("gp: restore: individual %d: %v", i, err)
+		}
+		pop[i] = ind
+	}
+	e.pop = pop
+	e.gen = snap.Gen
+	e.evaluations = snap.Evaluations
+	e.best = best
+	e.history = append([]GenStats(nil), snap.History...)
+	return nil
+}
+
+// genStatsJSON is the wire form of GenStats: fitnesses travel as
+// math.Float64bits so snapshot round-trips are bitwise exact even when a
+// generation's best or mean fitness is ±Inf (plain JSON numbers cannot
+// encode non-finite values).
+type genStatsJSON struct {
+	Gen             int    `json:"gen"`
+	BestFitnessBits uint64 `json:"best_fitness_bits"`
+	MeanFitnessBits uint64 `json:"mean_fitness_bits"`
+	BestSize        int    `json:"best_size"`
+	Evaluations     int    `json:"evaluations"`
+}
+
+// MarshalJSON encodes the stats with bit-exact fitnesses.
+func (s GenStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(genStatsJSON{
+		Gen:             s.Gen,
+		BestFitnessBits: math.Float64bits(s.BestFitness),
+		MeanFitnessBits: math.Float64bits(s.MeanFitness),
+		BestSize:        s.BestSize,
+		Evaluations:     s.Evaluations,
+	})
+}
+
+// UnmarshalJSON decodes the form written by MarshalJSON.
+func (s *GenStats) UnmarshalJSON(b []byte) error {
+	var j genStatsJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = GenStats{
+		Gen:         j.Gen,
+		BestFitness: math.Float64frombits(j.BestFitnessBits),
+		MeanFitness: math.Float64frombits(j.MeanFitnessBits),
+		BestSize:    j.BestSize,
+		Evaluations: j.Evaluations,
+	}
+	return nil
+}

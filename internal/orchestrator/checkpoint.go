@@ -1,0 +1,197 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gmr/internal/gp"
+)
+
+// CheckpointVersion is the checkpoint schema version; Resume rejects files
+// written by an incompatible orchestrator.
+const CheckpointVersion = 1
+
+// configDigest pins the run parameters that determinism depends on. Resume
+// refuses a checkpoint whose digest does not match the live Config: resuming
+// under different parameters would silently produce a hybrid run.
+type configDigest struct {
+	Islands        int   `json:"islands"`
+	MigrationEvery int   `json:"migration_every"`
+	Migrants       int   `json:"migrants"`
+	PopSize        int   `json:"pop_size"`
+	MaxGen         int   `json:"max_gen"`
+	Seed           int64 `json:"seed"`
+}
+
+func (o *Orchestrator) digest() configDigest {
+	return configDigest{
+		Islands:        o.cfg.Islands,
+		MigrationEvery: o.cfg.MigrationEvery,
+		Migrants:       o.cfg.Migrants,
+		PopSize:        o.cfg.GP.PopSize,
+		MaxGen:         o.cfg.GP.MaxGen,
+		Seed:           o.cfg.GP.Seed,
+	}
+}
+
+// Checkpoint is the on-disk snapshot of a paused island run.
+type Checkpoint struct {
+	Version int          `json:"version"`
+	SavedAt time.Time    `json:"saved_at"`
+	Config  configDigest `json:"config"`
+	Gen     int          `json:"gen"`
+	// Migrations carries the event counter so resumed telemetry and
+	// results continue the sequence.
+	Migrations int `json:"migrations"`
+	// Islands holds one engine snapshot per island, in island order.
+	Islands []*gp.EngineSnapshot `json:"islands"`
+	// EvalSCRefBits carries each island evaluator's committed
+	// short-circuiting reference (math.Float64bits), for evaluators that
+	// expose one; absent entries restore to +Inf (fresh evaluator).
+	EvalSCRefBits []uint64 `json:"eval_sc_ref_bits,omitempty"`
+}
+
+// scRefEvaluator is the optional evaluator surface for carrying the
+// short-circuiting reference through a checkpoint (evalx implements it).
+type scRefEvaluator interface {
+	ShortCircuitRef() float64
+	SetShortCircuitRef(float64)
+}
+
+// checkpoint writes the current state to cfg.CheckpointPath atomically: the
+// snapshot is serialized to a temp file in the same directory, synced, and
+// renamed over the target, so a crash mid-write never corrupts an existing
+// checkpoint.
+func (o *Orchestrator) checkpoint() error {
+	ck := &Checkpoint{
+		Version:    CheckpointVersion,
+		SavedAt:    time.Now().UTC(),
+		Config:     o.digest(),
+		Gen:        o.gen,
+		Migrations: o.migs,
+	}
+	for i, e := range o.engines {
+		snap, err := e.Snapshot()
+		if err != nil {
+			return fmt.Errorf("orchestrator: checkpoint: island %d: %v", i, err)
+		}
+		ck.Islands = append(ck.Islands, snap)
+	}
+	refs := make([]uint64, len(o.evals))
+	anyRef := false
+	for i, ev := range o.evals {
+		refs[i] = math.Float64bits(math.Inf(1))
+		if sr, ok := ev.(scRefEvaluator); ok {
+			refs[i] = math.Float64bits(sr.ShortCircuitRef())
+			anyRef = true
+		}
+	}
+	if anyRef {
+		ck.EvalSCRefBits = refs
+	}
+	if err := writeFileAtomic(o.cfg.CheckpointPath, ck); err != nil {
+		return err
+	}
+	o.tele.checkpointWritten(o.gen, o.cfg.CheckpointPath)
+	return nil
+}
+
+// writeFileAtomic serializes v as indented JSON into a temp file in path's
+// directory, fsyncs it, and renames it over path.
+func writeFileAtomic(path string, v any) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("orchestrator: checkpoint: %v", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("orchestrator: checkpoint %s: %v", path, err)
+	}
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("orchestrator: checkpoint %s: %v", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("orchestrator: checkpoint %s: %v", path, err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file without restoring it
+// into any engine (inspection, tests). A truncated, corrupted, or
+// version-mismatched file yields a descriptive error, never a panic.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: checkpoint %s: %v", path, err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(blob, &ck); err != nil {
+		return nil, fmt.Errorf("orchestrator: checkpoint %s is corrupted or truncated: %v", path, err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("orchestrator: checkpoint %s has version %d; this build supports %d",
+			path, ck.Version, CheckpointVersion)
+	}
+	if len(ck.Islands) == 0 {
+		return nil, fmt.Errorf("orchestrator: checkpoint %s has no islands", path)
+	}
+	return &ck, nil
+}
+
+// Resume restores a checkpoint written by this configuration into the
+// freshly constructed islands. It must be called before Run; Run then
+// continues from the checkpointed generation. The determinism contract
+// requires the Config to be identical to the one that wrote the checkpoint
+// (enforced via the stored digest).
+func (o *Orchestrator) Resume(path string) error {
+	if o.resumed {
+		return fmt.Errorf("orchestrator: already resumed")
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	if got, want := ck.Config, o.digest(); got != want {
+		return fmt.Errorf("orchestrator: checkpoint %s was written by a different configuration: %+v, this run is %+v",
+			path, got, want)
+	}
+	if len(ck.Islands) != len(o.engines) {
+		return fmt.Errorf("orchestrator: checkpoint %s has %d islands, this run has %d",
+			path, len(ck.Islands), len(o.engines))
+	}
+	for i, snap := range ck.Islands {
+		if err := o.engines[i].Restore(snap); err != nil {
+			return fmt.Errorf("orchestrator: checkpoint %s: island %d: %v", path, i, err)
+		}
+		if snap.Gen != ck.Gen {
+			return fmt.Errorf("orchestrator: checkpoint %s: island %d paused at generation %d, run at %d",
+				path, i, snap.Gen, ck.Gen)
+		}
+	}
+	for i, ev := range o.evals {
+		if sr, ok := ev.(scRefEvaluator); ok && i < len(ck.EvalSCRefBits) {
+			sr.SetShortCircuitRef(math.Float64frombits(ck.EvalSCRefBits[i]))
+		}
+	}
+	o.gen = ck.Gen
+	o.migs = ck.Migrations
+	o.resumed = true
+	return nil
+}

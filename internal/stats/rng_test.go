@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// drain pulls a mixed sequence of draws, exercising every numeric method the
+// engine uses (Float64, Intn, NormFloat64, Int63, Perm).
+func drain(r *rand.Rand, n int) []float64 {
+	out := make([]float64, 0, 5*n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Float64())
+		out = append(out, float64(r.Intn(1000)))
+		out = append(out, r.NormFloat64())
+		out = append(out, float64(r.Int63()))
+		for _, p := range r.Perm(4) {
+			out = append(out, float64(p))
+		}
+	}
+	return out
+}
+
+func TestRNGRoundTripStreamEquivalence(t *testing.T) {
+	a := NewRNG(42)
+	// Advance mid-stream before serializing: the checkpoint case.
+	drain(a.Rand, 100)
+
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b RNG
+	if err := json.Unmarshal(blob, &b); err != nil {
+		t.Fatal(err)
+	}
+
+	as, bs := drain(a.Rand, 200), drain(b.Rand, 200)
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("streams diverge at draw %d: %v vs %v", i, as[i], bs[i])
+		}
+	}
+}
+
+func TestRNGRoundTripInsideStruct(t *testing.T) {
+	type holder struct {
+		R *RNG `json:"rng"`
+	}
+	h := holder{R: NewRNG(7)}
+	h.R.Float64()
+	blob, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back holder
+	back.R = &RNG{}
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := h.R.Int63(), back.R.Int63(); a != b {
+		t.Fatalf("nested round-trip diverged: %d vs %d", a, b)
+	}
+}
+
+func TestRNGUnmarshalRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"algo":"mt19937","state":"5"}`,   // wrong algorithm
+		`{"algo":"splitmix64","state":""}`, // empty state
+		`{"algo":"splitmix64","state":"not-a-number"}`,
+		`{"algo":"splitmix64","state":"-1"}`,
+		`{truncated`,
+	}
+	for _, c := range cases {
+		var r RNG
+		if err := json.Unmarshal([]byte(c), &r); err == nil {
+			t.Errorf("unmarshal accepted %s", c)
+		}
+	}
+}
+
+func TestRNGSplitStreamsDiffer(t *testing.T) {
+	parent := NewRNG(1)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split children shared %d of 64 draws", same)
+	}
+}
+
+func TestRNGSplitDeterministic(t *testing.T) {
+	a := NewRNG(99).Split()
+	b := NewRNG(99).Split()
+	for i := 0; i < 32; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("split not reproducible at draw %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestSourceSeedResets(t *testing.T) {
+	s := NewSource(5)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(5)
+	if got := s.Uint64(); got != first {
+		t.Errorf("Seed did not reset the stream: %d vs %d", got, first)
+	}
+}
