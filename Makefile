@@ -1,9 +1,11 @@
-# Developer targets: build, vet, test, race-test, benchmarks, and the
-# BENCH_EVAL.json hot-path snapshot. `make check` is the CI gate.
+# Developer targets: build, vet, test, race-test, fuzzing, chaos tests,
+# benchmarks, and the BENCH_EVAL.json hot-path snapshot. `make check` is
+# the CI gate.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bencheval check clean
+.PHONY: all build vet test race fuzz chaos bench bencheval check clean
 
 all: check
 
@@ -22,6 +24,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fuzz runs each fuzz target for FUZZTIME (default 30s). `go test -fuzz`
+# accepts only one target per invocation, so targets run sequentially.
+fuzz:
+	$(GO) test -fuzz FuzzExprParseRoundTrip -fuzztime $(FUZZTIME) ./internal/expr/
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/gp/
+
+# chaos runs the fault-injection suite (injected panics, NaN poison,
+# checkpoint truncation, resume-under-faults determinism) under the race
+# detector.
+chaos:
+	$(GO) test -race ./internal/faultinject/
+	$(GO) test -race -run 'Chaos|Fault|Quarantine|Backup|Truncation' \
+		./internal/evalx/ ./internal/gp/ ./internal/orchestrator/
+
 # bench runs the hot-path microbenchmarks with allocation reporting.
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/expr/ ./internal/bio/ ./internal/evalx/
@@ -31,7 +47,7 @@ bench:
 bencheval:
 	$(GO) run ./cmd/riverbench -exp bencheval
 
-check: build vet test race
+check: build vet test race chaos fuzz
 
 clean:
 	$(GO) clean ./...

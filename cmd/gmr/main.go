@@ -3,7 +3,8 @@
 //
 //	gmr [-data nakdong.csv] [-pop 150] [-gens 60] [-runs 2] [-seed 1]
 //	gmr -islands 4 [-migrate-every 5] [-migrants 2] \
-//	    [-checkpoint run.ckpt] [-resume] [-telemetry run.jsonl]
+//	    [-checkpoint run.ckpt] [-resume] [-telemetry run.jsonl] \
+//	    [-faults "seed=42,panic:0.01,nan:0.01"] [-eval-deadline 2s]
 //
 // Without -data, a synthetic Nakdong dataset is generated (seed 7). The
 // output reports train/test accuracy, the revised differential equations,
@@ -35,6 +36,7 @@ import (
 	"gmr/internal/core"
 	"gmr/internal/dataset"
 	"gmr/internal/evalx"
+	"gmr/internal/faultinject"
 	"gmr/internal/gp"
 	"gmr/internal/report"
 )
@@ -59,8 +61,19 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint cadence in generations (0 = default 10)")
 		resumeRun   = flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
 		telemetryTo = flag.String("telemetry", "", "write JSONL run telemetry to this file (islands mode)")
+
+		faultSpec = flag.String("faults", "", `chaos-testing fault spec, e.g. "seed=42,panic:0.01,nan:0.01,latency:0.005:2ms,trunc:0.1" (empty disables)`)
+		deadline  = flag.Duration("eval-deadline", 0, "per-evaluation wall-clock deadline (0 disables; breaks bitwise determinism)")
 	)
 	flag.Parse()
+
+	faults, ferr := faultinject.Parse(*faultSpec)
+	if ferr != nil {
+		fatal(ferr)
+	}
+	if faults != nil {
+		fmt.Printf("fault injection enabled: %s\n", faults)
+	}
 
 	// SIGINT/SIGTERM cancel the context; the run stops at the next
 	// generation barrier and partial results are reported. A second
@@ -90,6 +103,8 @@ func main() {
 	if *noES {
 		eval.UseShortCircuit = false
 	}
+	eval.Faults = faults
+	eval.EvalDeadline = *deadline
 	cfg := core.Config{
 		GP:   gp.Config{PopSize: *pop, MaxGen: *gens, LocalSearchSteps: *ls, Seed: *seed},
 		Eval: eval,
@@ -122,6 +137,7 @@ func main() {
 			CheckpointEvery: *ckptEvery,
 			Resume:          *resumeRun,
 			Telemetry:       tele,
+			Faults:          faults,
 		})
 		if err != nil {
 			fatal(err)
@@ -135,6 +151,10 @@ func main() {
 		}
 		fmt.Printf("generations %d, migrations %d, best from island %d\n",
 			orch.Generations, orch.Migrations, orch.BestIsland)
+		if s := faults.Snapshot(); s != nil {
+			fmt.Printf("faults injected: %d panics, %d nan poisons, %d latencies, %d checkpoint truncations\n",
+				s.Panics, s.NaNs, s.Latencies, s.Truncations)
+		}
 		res = r
 	} else {
 		fmt.Printf("running GMR: %d×%d, %d runs, local search %d...\n", *pop, *gens, *runs, *ls)

@@ -5,7 +5,8 @@
 //	riverbench -exp fig9
 //	riverbench -exp fig10 [-pop 60]
 //	riverbench -exp fig11
-//	riverbench -exp islands [-islands 4] [-checkpoint run.ckpt] [-resume] [-telemetry ISLANDS.jsonl]
+//	riverbench -exp islands [-islands 4] [-checkpoint run.ckpt] [-resume] [-telemetry ISLANDS.jsonl] \
+//	           [-faults "seed=42,panic:0.01,nan:0.01,trunc:0.1"]
 //	riverbench -exp bencheval [-bench-out BENCH_EVAL.json]
 //	riverbench -exp all
 //
@@ -37,6 +38,7 @@ import (
 	"text/tabwriter"
 
 	"gmr/internal/experiments"
+	"gmr/internal/faultinject"
 )
 
 func main() {
@@ -60,8 +62,14 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 0, "islands: checkpoint cadence in generations (0 = default)")
 		resumeRun   = flag.Bool("resume", false, "islands: resume from -checkpoint instead of starting fresh")
 		telemetryTo = flag.String("telemetry", "ISLANDS.jsonl", "islands: JSONL telemetry output path (empty disables)")
+		faultSpec   = flag.String("faults", "", `islands: chaos-testing fault spec, e.g. "seed=42,panic:0.01,nan:0.01,trunc:0.1" (empty disables)`)
 	)
 	flag.Parse()
+
+	faults, ferr := faultinject.Parse(*faultSpec)
+	if ferr != nil {
+		fatal(ferr)
+	}
 
 	// SIGINT/SIGTERM cancel the context; experiments stop at their next
 	// boundary and report partial results. A second signal kills outright.
@@ -228,6 +236,10 @@ func main() {
 			CheckpointPath:  *checkpoint,
 			CheckpointEvery: *ckptEvery,
 			Resume:          *resumeRun,
+			Faults:          faults,
+		}
+		if faults != nil {
+			fmt.Printf("fault injection enabled: %s\n", faults)
 		}
 		if *telemetryTo != "" {
 			f, err := os.Create(*telemetryTo)
@@ -254,6 +266,10 @@ func main() {
 		}
 		fmt.Printf("islands %d, generations %d, migrations %d\n",
 			len(res.Orch.PerIsland), res.Orch.Generations, res.Orch.Migrations)
+		if s := faults.Snapshot(); s != nil {
+			fmt.Printf("faults injected: %d panics, %d nan poisons, %d latencies, %d checkpoint truncations\n",
+				s.Panics, s.NaNs, s.Latencies, s.Truncations)
+		}
 		if *telemetryTo != "" {
 			fmt.Printf("telemetry: %s\n", *telemetryTo)
 		}

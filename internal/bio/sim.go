@@ -140,8 +140,10 @@ func growBuf(b []float64, n int) []float64 {
 // nil. Run returns the predictions for the days it integrated, one per
 // forcing row unless stopped early.
 //
-// If the state ever becomes non-finite the run stops and the prediction for
-// that day is NaN, which downstream metrics score as +Inf error.
+// If the state ever becomes non-finite (NaN or ±Inf) the run stops, the
+// prediction for that day is NaN (which downstream metrics score as +Inf
+// error), and perStep is called one final time with the offending value so
+// the caller can classify the failure (see evalx's numeric quarantine).
 func (s *System) Run(forcing [][]float64, params []float64, cfg SimConfig, perStep func(t int, bphy float64) bool) []float64 {
 	return s.RunBuf(forcing, params, cfg, &SimScratch{}, perStep)
 }
@@ -167,9 +169,12 @@ func (s *System) RunBuf(forcing [][]float64, params []float64, cfg SimConfig, sc
 			dZoo := s.Zoo.Eval(scratch, params)
 			bphy += h * dPhy
 			bzoo += h * dZoo
-			if math.IsNaN(bphy) || math.IsNaN(bzoo) {
+			if bad, abort := nonFinite(bphy, bzoo); abort {
 				preds = append(preds, math.NaN())
 				sc.preds = preds
+				if perStep != nil {
+					perStep(t, bad)
+				}
 				return preds
 			}
 			bphy = clamp(bphy, cfg.ClampMin, cfg.ClampMax)
@@ -188,6 +193,23 @@ func (s *System) RunBuf(forcing [][]float64, params []float64, cfg SimConfig, sc
 // Predict is Run without the per-step hook.
 func (s *System) Predict(forcing [][]float64, params []float64, cfg SimConfig) []float64 {
 	return s.Run(forcing, params, cfg, nil)
+}
+
+// nonFinite reports whether either state variable has gone NaN or ±Inf and
+// returns the first offending value. The simulator aborts the run on a
+// non-finite state and reports the value through the perStep hook, so the
+// evaluator's numeric quarantine can classify the failure (NaN poison vs
+// overflow) instead of receiving silent truncation. Note that ±Inf can
+// only persist past a substep when clamping is disabled or unbounded;
+// under the default clamps overflow saturates at ClampMax instead.
+func nonFinite(bphy, bzoo float64) (bad float64, abort bool) {
+	if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
+		return bphy, true
+	}
+	if math.IsNaN(bzoo) || math.IsInf(bzoo, 0) {
+		return bzoo, true
+	}
+	return 0, false
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -245,9 +267,12 @@ func (s *SharedSystem) Run(forcing [][]float64, params []float64, cfg SimConfig,
 			dZoo := s.Zoo.EvalStack(scratch, params, zooStack)
 			bphy += h * dPhy
 			bzoo += h * dZoo
-			if math.IsNaN(bphy) || math.IsNaN(bzoo) {
+			if bad, abort := nonFinite(bphy, bzoo); abort {
 				preds = append(preds, math.NaN())
 				sc.preds = preds
+				if perStep != nil {
+					perStep(t, bad)
+				}
 				return preds
 			}
 			bphy = clamp(bphy, cfg.ClampMin, cfg.ClampMax)

@@ -19,6 +19,7 @@ import (
 	"gmr/internal/dataset"
 	"gmr/internal/evalx"
 	"gmr/internal/expr"
+	"gmr/internal/faultinject"
 	"gmr/internal/gp"
 	"gmr/internal/grammar"
 	"gmr/internal/metrics"
@@ -249,6 +250,12 @@ type IslandOptions struct {
 	Resume bool
 	// Telemetry receives the JSONL run telemetry when non-nil.
 	Telemetry io.Writer
+	// Faults, when non-nil, is the run's fault injector: the
+	// orchestrator uses it for checkpoint-write truncation and reports
+	// its tally in the run_end telemetry record. Pass the same injector
+	// as Config.Eval.Faults to also inject evaluation-level faults
+	// (panic, NaN poison, latency) with one shared counter set.
+	Faults *faultinject.Injector
 }
 
 // RunIslands executes GMR as an island model: Config.GP populations evolve
@@ -279,6 +286,7 @@ func RunIslands(ctx context.Context, ds *dataset.Dataset, cfg Config, opts Islan
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
 		Telemetry:       opts.Telemetry,
+		Faults:          opts.Faults,
 	}
 	if !opts.Resume {
 		// Pre-calibrate each island's starting parameters. Skipped on

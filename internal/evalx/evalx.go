@@ -31,14 +31,17 @@
 package evalx
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gmr/internal/bio"
 	"gmr/internal/expr"
+	"gmr/internal/faultinject"
 	"gmr/internal/gp"
 	"gmr/internal/grammar"
 )
@@ -87,6 +90,23 @@ type Options struct {
 	// Sim is the integration configuration; Phy0/Zoo0 should be the
 	// observed initial biomasses of the evaluation period.
 	Sim bio.SimConfig
+	// Faults, when non-nil, injects deterministic faults into the
+	// evaluation pipeline (chaos testing): worker panics before
+	// evaluation, NaN poison in one simulation step, artificial latency.
+	// Decisions are pure functions of (fault seed, site hash), where the
+	// site hash derives from the evaluation input — the (structure,
+	// params) cache key — so the same run with the same fault seed
+	// injects the same faults regardless of worker count or cache
+	// warmth. A nil injector costs one nil check per evaluation.
+	Faults *faultinject.Injector
+	// EvalDeadline bounds the wall-clock time of a single evaluation;
+	// zero disables it. A candidate exceeding the deadline is aborted
+	// and quarantined with ReasonDeadline (+Inf fitness). Deadline
+	// aborts depend on wall-clock time, so they are NOT cached and
+	// using them forfeits the bitwise-determinism contract; treat the
+	// deadline as a safety valve for pathological candidates, not part
+	// of reproducible experiments.
+	EvalDeadline time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +128,49 @@ func AllSpeedups(sim bio.SimConfig) Options {
 	return Options{UseCache: true, UseShortCircuit: true, UseCompile: true, Simplify: true, Sim: sim}
 }
 
+// Reason classifies why an evaluation was quarantined: the candidate's
+// fitness was forced to +Inf instead of a simulated RMSE. Quarantine is the
+// numeric firewall of the pipeline — grammar-generated models routinely
+// diverge, overflow, or collapse to NaN, and the reason codes turn those
+// failures into counted, telemetered events instead of silent poison.
+type Reason uint8
+
+const (
+	// ReasonOK: not quarantined.
+	ReasonOK Reason = iota
+	// ReasonNaN: the simulated state became NaN (including injected NaN
+	// poison).
+	ReasonNaN
+	// ReasonInf: the simulated state overflowed to ±Inf (clamping
+	// disabled or unbounded), i.e. numeric overflow.
+	ReasonInf
+	// ReasonDeadline: the evaluation exceeded Options.EvalDeadline.
+	ReasonDeadline
+	// ReasonBadStructure: the derivation failed to derive, split, bind,
+	// or compile.
+	ReasonBadStructure
+
+	numReasons
+)
+
+// String returns the telemetry name of the reason code.
+func (r Reason) String() string {
+	switch r {
+	case ReasonOK:
+		return "ok"
+	case ReasonNaN:
+		return "nan"
+	case ReasonInf:
+		return "inf"
+	case ReasonDeadline:
+		return "deadline"
+	case ReasonBadStructure:
+		return "bad_structure"
+	default:
+		return "?"
+	}
+}
+
 // Stats counts evaluator work for the Fig 10/11 analyses and the cache
 // telemetry of the two-tier evaluation cache.
 type Stats struct {
@@ -120,6 +183,18 @@ type Stats struct {
 	Compiles       int // structure builds (bind + compile)
 	StepsEvaluated int // total fitness cases actually simulated
 	StepsPossible  int // fitness cases that full evaluation would cost
+
+	// Quarantine counters, by reason code (simulations aborted with +Inf
+	// fitness rather than a measured RMSE).
+	QuarNaN          int // state became NaN mid-simulation
+	QuarInf          int // state overflowed to ±Inf mid-simulation
+	QuarDeadline     int // evaluation exceeded the per-evaluation deadline
+	QuarBadStructure int // derivation failed to derive/bind/compile
+}
+
+// Quarantined returns the total number of quarantined evaluations.
+func (s Stats) Quarantined() int {
+	return s.QuarNaN + s.QuarInf + s.QuarDeadline + s.QuarBadStructure
 }
 
 // Add accumulates another stats snapshot (e.g. across per-run evaluators).
@@ -133,6 +208,10 @@ func (s *Stats) Add(o Stats) {
 	s.Compiles += o.Compiles
 	s.StepsEvaluated += o.StepsEvaluated
 	s.StepsPossible += o.StepsPossible
+	s.QuarNaN += o.QuarNaN
+	s.QuarInf += o.QuarInf
+	s.QuarDeadline += o.QuarDeadline
+	s.QuarBadStructure += o.QuarBadStructure
 }
 
 // counters is the lock-free internal form of Stats: every field is an
@@ -147,19 +226,24 @@ type counters struct {
 	compiles       atomic.Int64
 	stepsEvaluated atomic.Int64
 	stepsPossible  atomic.Int64
+	quarantine     [numReasons]atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Evaluations:    int(c.evaluations.Load()),
-		FullEvals:      int(c.fullEvals.Load()),
-		ShortCircuits:  int(c.shortCircuits.Load()),
-		CacheHits:      int(c.cacheHits.Load()),
-		Tier1Hits:      int(c.tier1Hits.Load()),
-		Derives:        int(c.derives.Load()),
-		Compiles:       int(c.compiles.Load()),
-		StepsEvaluated: int(c.stepsEvaluated.Load()),
-		StepsPossible:  int(c.stepsPossible.Load()),
+		Evaluations:      int(c.evaluations.Load()),
+		FullEvals:        int(c.fullEvals.Load()),
+		ShortCircuits:    int(c.shortCircuits.Load()),
+		CacheHits:        int(c.cacheHits.Load()),
+		Tier1Hits:        int(c.tier1Hits.Load()),
+		Derives:          int(c.derives.Load()),
+		Compiles:         int(c.compiles.Load()),
+		StepsEvaluated:   int(c.stepsEvaluated.Load()),
+		StepsPossible:    int(c.stepsPossible.Load()),
+		QuarNaN:          int(c.quarantine[ReasonNaN].Load()),
+		QuarInf:          int(c.quarantine[ReasonInf].Load()),
+		QuarDeadline:     int(c.quarantine[ReasonDeadline].Load()),
+		QuarBadStructure: int(c.quarantine[ReasonBadStructure].Load()),
 	}
 }
 
@@ -173,6 +257,17 @@ func (c *counters) reset() {
 	c.compiles.Store(0)
 	c.stepsEvaluated.Store(0)
 	c.stepsPossible.Store(0)
+	for i := range c.quarantine {
+		c.quarantine[i].Store(0)
+	}
+}
+
+// quarantineCount counts one quarantined evaluation under reason r
+// (ReasonOK is ignored).
+func (c *counters) quarantineCount(r Reason) {
+	if r != ReasonOK {
+		c.quarantine[r].Add(1)
+	}
 }
 
 // Evaluator scores gp.Individuals by simulating their revised process over
@@ -325,6 +420,13 @@ type Snapshot struct {
 	Compiles       int     `json:"compiles"`
 	StepsEvaluated int     `json:"steps_evaluated"`
 	StepsPossible  int     `json:"steps_possible"`
+
+	// Quarantine counters (omitted when zero, so fault-free streams keep
+	// their previous byte format).
+	QuarNaN          int `json:"quar_nan,omitempty"`
+	QuarInf          int `json:"quar_inf,omitempty"`
+	QuarDeadline     int `json:"quar_deadline,omitempty"`
+	QuarBadStructure int `json:"quar_bad_structure,omitempty"`
 }
 
 // Snapshot returns the JSON-marshalable counter snapshot. It is safe to
@@ -341,10 +443,14 @@ func (e *Evaluator) Snapshot() Snapshot {
 		Tier1Misses:    st.Evaluations - st.Tier1Hits,
 		Tier2Hits:      st.CacheHits,
 		Tier2Misses:    st.Evaluations - st.CacheHits,
-		Derives:        st.Derives,
-		Compiles:       st.Compiles,
-		StepsEvaluated: st.StepsEvaluated,
-		StepsPossible:  st.StepsPossible,
+		Derives:          st.Derives,
+		Compiles:         st.Compiles,
+		StepsEvaluated:   st.StepsEvaluated,
+		StepsPossible:    st.StepsPossible,
+		QuarNaN:          st.QuarNaN,
+		QuarInf:          st.QuarInf,
+		QuarDeadline:     st.QuarDeadline,
+		QuarBadStructure: st.QuarBadStructure,
 	}
 	if snap.Tier1Misses < 0 {
 		snap.Tier1Misses = 0
@@ -400,19 +506,27 @@ func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
 		// bind, build, and simulate on every call.
 		phy, zoo, err := e.deriveSplitSimplify(ind)
 		if err != nil {
+			e.ctr.quarantineCount(ReasonBadStructure)
 			return math.Inf(1), true
 		}
 		ent := e.buildEntry(phy, zoo)
 		if ent.bad {
+			e.ctr.quarantineCount(ReasonBadStructure)
 			return math.Inf(1), true
 		}
-		fitness, full, steps := e.simulate(ent, ind.Params, sc)
+		// Without a cache key, the injection site hash derives from the
+		// parameter vector (bit patterns), seeded by a fixed base.
+		site := faultinject.HashFloats(uncachedSiteBase, ind.Params)
+		e.injectPre(site)
+		fitness, full, steps, reason := e.simulate(ent, ind.Params, sc, site)
+		e.ctr.quarantineCount(reason)
 		e.recordResult(fitness, full, steps)
 		return fitness, full
 	}
 
 	ent, key := e.structFor(ind)
 	if ent == nil || ent.bad {
+		e.ctr.quarantineCount(ReasonBadStructure)
 		return math.Inf(1), true
 	}
 
@@ -421,7 +535,13 @@ func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
 	// allocate, only a first-time insert materializes the string.
 	kb := appendFitKey(sc.key[:0], key, ind.Params)
 	sc.key = kb
-	sh := &e.shards[hashBytes(kb)&(cacheShards-1)]
+	site := hashBytes(kb)
+	// Fault injection happens before the tier-2 lookup so the decision
+	// is a pure function of the evaluation input, independent of cache
+	// warmth (a cache hit for a NaN-poisoned key returns the same +Inf
+	// the poisoned simulation produced). Nil injector: two nil checks.
+	e.injectPre(site)
+	sh := &e.shards[site&(cacheShards-1)]
 	sh.mu.Lock()
 	if hit, ok := sh.fits[string(kb)]; ok {
 		sh.mu.Unlock()
@@ -430,15 +550,35 @@ func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
 	}
 	sh.mu.Unlock()
 
-	fitness, full, steps := e.simulate(ent, ind.Params, sc)
+	fitness, full, steps, reason := e.simulate(ent, ind.Params, sc, site)
+	e.ctr.quarantineCount(reason)
 	e.recordResult(fitness, full, steps)
 
+	// Deadline aborts depend on wall-clock time; caching one would make
+	// a transient stall permanent for that (structure, params) pair.
+	if reason == ReasonDeadline {
+		return fitness, full
+	}
 	sh.mu.Lock()
 	if _, ok := sh.fits[string(kb)]; !ok {
 		sh.fits[string(kb)] = cacheEntry{fitness, full}
 	}
 	sh.mu.Unlock()
 	return fitness, full
+}
+
+// uncachedSiteBase seeds the injection site hash of the uncached pipeline
+// (an arbitrary odd constant).
+const uncachedSiteBase = 0x51_7e_ba_5e_0dd5_ee_d1
+
+// injectPre applies the pre-evaluation fault classes at site hash h: an
+// injected panic (recovered and quarantined by gp.Engine's worker pool) or
+// artificial latency. Nil injector: two nil checks, no allocation.
+func (e *Evaluator) injectPre(h uint64) {
+	if e.opts.Faults.Hit(faultinject.Panic, h) {
+		panic(faultinject.InjectedPanic{Site: "evalx.Evaluate", Hash: h})
+	}
+	e.opts.Faults.Sleep(h)
 }
 
 // recordResult folds one simulation outcome into the counters and the
@@ -569,29 +709,64 @@ func appendFitKey(buf []byte, structKey string, params []float64) []byte {
 // simulate runs the forward simulation, accumulating the running RMSE and
 // applying Algorithm 1 when short-circuiting is enabled. It returns the
 // fitness (final RMSE, or the extrapolated surrogate when short-circuited),
-// whether the evaluation was full, and the number of fitness cases
-// simulated.
-func (e *Evaluator) simulate(ent *structEntry, params []float64, sc *evalScratch) (float64, bool, int) {
+// whether the evaluation was full, the number of fitness cases simulated,
+// and the quarantine reason (ReasonOK for a clean simulation).
+//
+// site is the deterministic fault-injection site hash of this evaluation;
+// when the NaN fault class fires, one simulation step (chosen from the
+// hash) is poisoned with NaN, exercising the numeric quarantine end to end.
+func (e *Evaluator) simulate(ent *structEntry, params []float64, sc *evalScratch, site uint64) (float64, bool, int, Reason) {
 	n := len(e.obs)
 	threshold := e.opts.Threshold
 	best := math.Inf(1)
 	if e.opts.UseShortCircuit {
 		best = math.Float64frombits(e.frozenBits.Load())
 	}
+	poisonStep := -1
+	if n > 0 && e.opts.Faults.Hit(faultinject.NaN, site) {
+		poisonStep = int(site % uint64(n))
+	}
+	// The per-evaluation deadline is context-based: a context is created
+	// only when a deadline is configured, and its Done channel is polled
+	// every 32 fitness cases (off the hot path; zero cost when disabled).
+	var done <-chan struct{}
+	if d := e.opts.EvalDeadline; d > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		done = ctx.Done()
+	}
 	var sse float64
 	steps := 0
 	shortFitness := math.NaN()
 	scd := false
+	reason := ReasonOK
 	minSteps := int(e.opts.MinFrac * float64(n))
 	perStep := func(t int, bphy float64) bool {
+		if t == poisonStep {
+			bphy = math.NaN()
+		}
 		if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
 			sse = math.Inf(1)
 			steps = t + 1
+			if math.IsNaN(bphy) {
+				reason = ReasonNaN
+			} else {
+				reason = ReasonInf
+			}
 			return false
 		}
 		d := bphy - e.obs[t]
 		sse += d * d
 		steps = t + 1
+		if done != nil && (t+1)&31 == 0 {
+			select {
+			case <-done:
+				sse = math.Inf(1)
+				reason = ReasonDeadline
+				return false
+			default:
+			}
+		}
 		if !e.opts.UseShortCircuit || math.IsInf(best, 1) || t+1 < minSteps {
 			return true
 		}
@@ -612,17 +787,19 @@ func (e *Evaluator) simulate(ent *structEntry, params []float64, sc *evalScratch
 		ent.tree.RunBuf(e.forcing, params, e.opts.Sim, &sc.sim, perStep)
 	}
 	if scd {
-		return shortFitness, false, steps
+		return shortFitness, false, steps, ReasonOK
 	}
-	if math.IsInf(sse, 1) || steps == 0 {
-		return math.Inf(1), true, steps
+	if math.IsInf(sse, 1) || steps == 0 || steps < n {
+		// Non-finite state or an early abort: a full evaluation of an
+		// invalid model. Classify unlabeled aborts (the simulator
+		// stopped before the per-day hook could see the bad value) as
+		// NaN quarantines.
+		if reason == ReasonOK && (math.IsInf(sse, 1) || steps > 0) {
+			reason = ReasonNaN
+		}
+		return math.Inf(1), true, steps, reason
 	}
-	if steps < n {
-		// The simulator aborted early (non-finite state): treat as a
-		// full evaluation of an invalid model.
-		return math.Inf(1), true, steps
-	}
-	return math.Sqrt(sse / float64(n)), true, steps
+	return math.Sqrt(sse / float64(n)), true, steps, ReasonOK
 }
 
 // PredictIndividual simulates an individual's revised process over an

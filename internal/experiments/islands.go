@@ -7,6 +7,7 @@ import (
 
 	"gmr/internal/core"
 	"gmr/internal/dataset"
+	"gmr/internal/faultinject"
 	"gmr/internal/orchestrator"
 )
 
@@ -29,6 +30,11 @@ type IslandsOptions struct {
 	// Telemetry receives the JSONL run stream (per-island generation
 	// stats, migration events, evaluator cache snapshots) when non-nil.
 	Telemetry io.Writer
+	// Faults, when non-nil, enables deterministic fault injection for
+	// the run: evaluation-level faults (panic, NaN poison, latency) in
+	// every island's evaluator and checkpoint-write truncation in the
+	// orchestrator, all tallied in the run_end telemetry record.
+	Faults *faultinject.Injector
 }
 
 // IslandsResult bundles the island experiment's outputs: the Table V-style
@@ -57,6 +63,7 @@ func Islands(ctx context.Context, ds *dataset.Dataset, sc Scale, seed int64, opt
 		}
 	}
 	cfg := gmrConfig(sc, seed)
+	cfg.Eval.Faults = opts.Faults
 	res, orch, err := core.RunIslands(ctx, ds, cfg, core.IslandOptions{
 		Islands:         opts.Islands,
 		MigrationEvery:  opts.MigrationEvery,
@@ -65,6 +72,7 @@ func Islands(ctx context.Context, ds *dataset.Dataset, sc Scale, seed int64, opt
 		CheckpointEvery: opts.CheckpointEvery,
 		Resume:          opts.Resume,
 		Telemetry:       opts.Telemetry,
+		Faults:          opts.Faults,
 	})
 	if err != nil {
 		return nil, err

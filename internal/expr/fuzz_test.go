@@ -1,0 +1,48 @@
+package expr
+
+import "testing"
+
+// FuzzExprParseRoundTrip checks that the canonical printer and the parser
+// form a round trip: any string the parser accepts prints to a canonical
+// form that re-parses to the same canonical form (print∘parse is a
+// fixpoint after one iteration). Canonical strings are tree-cache keys, so
+// a violation here would corrupt cache identity.
+func FuzzExprParseRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		"1",
+		"-1.5",
+		"C1",
+		"BPhy",
+		"(BPhy * Cg)",
+		"log(exp(V1))",
+		"min(1, 2, V3)",
+		"max(BZoo, 0.5)",
+		"((a + b) / (c - 2e-3))",
+		"-(BPhy / BZoo)",
+		"1.25e+17",
+		"exp(-(C2 * V1))",
+		"neg(min(C1, 2, 3))",
+		"0.1*BPhy - C2*BZoo/(BPhy+C3)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// The parser is recursive-descent; cap input length so adversarial
+		// nesting ("((((…") cannot exhaust the stack.
+		if len(src) > 1<<12 {
+			t.Skip("input too long")
+		}
+		n, err := Parse(src)
+		if err != nil {
+			return // rejecting input is fine; crashing is not
+		}
+		s1 := n.String()
+		n2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", s1, src, err)
+		}
+		if s2 := n2.String(); s2 != s1 {
+			t.Fatalf("print/parse is not a fixpoint:\ninput  %q\nfirst  %q\nsecond %q", src, s1, s2)
+		}
+	})
+}

@@ -220,6 +220,13 @@ func (p *parser) parseIdentOrCall() (*Node, error) {
 			if len(args) != 1 {
 				return nil, fmt.Errorf("expr: neg takes 1 argument, got %d", len(args))
 			}
+			// Fold literal negation exactly like prefix minus does, so
+			// "neg(0)" and "-0" parse to the same tree and the canonical
+			// print/parse round trip stays a fixpoint (found by fuzzing:
+			// Neg(Lit(0)) printed "(-0)" but re-parsed to Lit(-0)).
+			if args[0].Kind == Lit {
+				return NewLit(-args[0].Val), nil
+			}
 			return Neg(args[0]), nil
 		case "min":
 			if len(args) < 2 {

@@ -32,6 +32,15 @@ func Simplify(n *Node) *Node {
 	return simplify(n.Clone())
 }
 
+// Canon returns the canonical form of a tree: algebraic simplification plus
+// the operand normalizations (literals to the right of commutative
+// operators, associative literal folding) that make structurally equal
+// revisions render identically. The canonical rendering Canon(t).String()
+// is the tree-cache key. Canon is idempotent — Canon(Canon(t)) is
+// structurally identical to Canon(t) — which the property tests enforce;
+// cache identity depends on it.
+func Canon(n *Node) *Node { return Simplify(n) }
+
 func simplify(n *Node) *Node {
 	for i, k := range n.Kids {
 		n.Kids[i] = simplify(k)

@@ -1,0 +1,232 @@
+package faultinject
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if in.Hit(Panic, 42) {
+		t.Fatal("nil injector fired")
+	}
+	in.Sleep(42)
+	if in.Enabled() {
+		t.Fatal("nil injector enabled")
+	}
+	if in.Seed() != 0 {
+		t.Fatal("nil injector seed != 0")
+	}
+	if in.Count(NaN) != 0 {
+		t.Fatal("nil injector count != 0")
+	}
+	if in.Snapshot() != nil {
+		t.Fatal("nil injector snapshot != nil")
+	}
+	if in.String() != "disabled" {
+		t.Fatalf("nil injector String = %q", in.String())
+	}
+}
+
+func TestParseEmptyDisables(t *testing.T) {
+	for _, spec := range []string{"", "  ", "\t"} {
+		in, err := Parse(spec)
+		if err != nil || in != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", spec, in, err)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"seed=42,panic:0.01,nan:0.01,latency:0.005:2ms,trunc:0.1",
+		"seed=1,panic:0.5",
+		"seed=7,nan:1",
+		"seed=3,latency:0.25", // default duration: omitted from String
+	}
+	for _, spec := range cases {
+		in, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := in.String(); got != spec {
+			t.Errorf("Parse(%q).String() = %q", spec, got)
+		}
+		if !in.Enabled() {
+			t.Errorf("Parse(%q) not enabled", spec)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	in, err := Parse("panic:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 1 {
+		t.Fatalf("default seed = %d, want 1", in.Seed())
+	}
+	in, err = Parse("latency:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.lat != DefaultLatency {
+		t.Fatalf("default latency = %v, want %v", in.lat, DefaultLatency)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"seed=abc",
+		"panic",
+		"panic:2",
+		"panic:-0.1",
+		"panic:x",
+		"wibble:0.5",
+		"latency:0.5:zoom",
+		"latency:0.5:-2ms",
+		"panic:0.5:extra",
+		"nan:0.5:1ms",
+	}
+	for _, spec := range bad {
+		if in, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) = %v, nil; want error", spec, in)
+		}
+	}
+}
+
+func TestHitDeterministic(t *testing.T) {
+	a := New(42, map[Fault]float64{Panic: 0.1, NaN: 0.1})
+	b := New(42, map[Fault]float64{Panic: 0.1, NaN: 0.1})
+	// Same (seed, class, hash) → same decision, regardless of call order.
+	hashes := make([]uint64, 1000)
+	for i := range hashes {
+		hashes[i] = mix(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	got := make([]bool, len(hashes))
+	for i, h := range hashes {
+		got[i] = a.Hit(Panic, h)
+	}
+	for i := len(hashes) - 1; i >= 0; i-- { // reversed order on b
+		if b.Hit(Panic, hashes[i]) != got[i] {
+			t.Fatalf("decision for hash %#x depends on call order", hashes[i])
+		}
+	}
+	// Repeated queries on the same injector agree too.
+	for i, h := range hashes {
+		if a.Hit(Panic, h) != got[i] {
+			t.Fatalf("decision for hash %#x not stable across calls", h)
+		}
+	}
+}
+
+func TestHitSeedAndClassDecorrelated(t *testing.T) {
+	a := New(1, map[Fault]float64{Panic: 0.5, NaN: 0.5})
+	b := New(2, map[Fault]float64{Panic: 0.5, NaN: 0.5})
+	diffSeed, diffClass := 0, 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		h := mix(uint64(i))
+		if a.Hit(Panic, h) != b.Hit(Panic, h) {
+			diffSeed++
+		}
+		if a.Hit(Panic, h) != a.Hit(NaN, h) {
+			diffClass++
+		}
+	}
+	// With p=0.5 independent streams, ~50% of decisions differ.
+	if diffSeed < n/4 || diffClass < n/4 {
+		t.Fatalf("streams look correlated: seed diff %d/%d, class diff %d/%d",
+			diffSeed, n, diffClass, n)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	const p = 0.05
+	in := New(99, map[Fault]float64{NaN: p})
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.Hit(NaN, mix(uint64(i)^0xabcdef)) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < p*0.8 || rate > p*1.2 {
+		t.Fatalf("hit rate %.4f, want ~%.2f", rate, p)
+	}
+	if in.Count(NaN) != int64(hits) {
+		t.Fatalf("Count = %d, want %d", in.Count(NaN), hits)
+	}
+}
+
+func TestZeroProbabilityNeverFires(t *testing.T) {
+	in := New(1, map[Fault]float64{Panic: 1})
+	for i := 0; i < 1000; i++ {
+		if in.Hit(NaN, uint64(i)) {
+			t.Fatal("zero-probability class fired")
+		}
+	}
+	if in.Count(NaN) != 0 {
+		t.Fatal("zero-probability class counted")
+	}
+}
+
+func TestProbabilityOneAlwaysFires(t *testing.T) {
+	in := New(1, map[Fault]float64{Panic: 1})
+	for i := 0; i < 1000; i++ {
+		if !in.Hit(Panic, mix(uint64(i))) {
+			t.Fatal("p=1 class did not fire")
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	in := New(5, map[Fault]float64{Panic: 1, NaN: 1, Latency: 1, Truncate: 1})
+	in.Hit(Panic, 1)
+	in.Hit(NaN, 2)
+	in.Hit(NaN, 3)
+	in.Hit(Truncate, 4)
+	s := in.Snapshot()
+	if s.Seed != 5 || s.Panics != 1 || s.NaNs != 2 || s.Truncations != 1 {
+		t.Fatalf("snapshot = %+v", *s)
+	}
+}
+
+func TestSleepCounts(t *testing.T) {
+	in, err := Parse("seed=1,latency:1:1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	in.Sleep(123)
+	_ = time.Since(start)
+	if in.Count(Latency) != 1 {
+		t.Fatalf("Latency count = %d, want 1", in.Count(Latency))
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	if HashBytes([]byte("abc")) != HashString("abc") {
+		t.Fatal("HashBytes and HashString disagree")
+	}
+	if HashString("a") == HashString("b") {
+		t.Fatal("trivial collision")
+	}
+	// HashFloats distinguishes bit patterns: ±0 differ.
+	if HashFloats(1, []float64{0}) == HashFloats(1, []float64{math.Copysign(0, -1)}) {
+		t.Fatal("HashFloats conflates ±0")
+	}
+	if HashFloats(1, []float64{1, 2}) == HashFloats(1, []float64{2, 1}) {
+		t.Fatal("HashFloats is order-insensitive")
+	}
+}
+
+func TestInjectedPanicString(t *testing.T) {
+	p := InjectedPanic{Site: "evalx.Evaluate", Hash: 0xbeef}
+	if !strings.Contains(p.String(), "evalx.Evaluate") || !strings.Contains(p.String(), "0xbeef") {
+		t.Fatalf("String = %q", p.String())
+	}
+}

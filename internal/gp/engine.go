@@ -191,6 +191,12 @@ type Engine struct {
 	jobCh       chan evalJob
 	workerWG    sync.WaitGroup
 	stopWorkers func()
+
+	// quarantined counts evaluations that panicked and were recovered by
+	// the worker pool's panic isolation (the individual's fitness is
+	// forced to +Inf). Observability only: it is not checkpoint state and
+	// restarts from zero on Restore.
+	quarantined atomic.Int64
 }
 
 // evalJob is one unit of work for the evaluation worker pool: evaluate the
@@ -218,16 +224,7 @@ func (e *Engine) startWorkers() func() {
 		go func() {
 			defer e.workerWG.Done()
 			for j := range e.jobCh {
-				n := 0
-				if !j.ind.Evaluated {
-					e.eval.Evaluate(j.ind)
-					n++
-				}
-				if j.followUp != nil {
-					n += j.followUp(j.ind, j.rng)
-				}
-				j.evals.Add(int64(n))
-				j.wg.Done()
+				e.runJob(j)
 			}
 		}()
 	}
@@ -237,6 +234,60 @@ func (e *Engine) startWorkers() func() {
 		e.jobCh = nil
 	}
 }
+
+// runJob executes one worker-pool job with panic isolation: whatever
+// happens inside the evaluation or its follow-up, wg.Done always runs, so a
+// panicking candidate can never deadlock the generation barrier or kill the
+// batch. Evaluation panics are contained per-individual by safeEvaluate;
+// this outer recover is the backstop for panics escaping the follow-up
+// closure itself. Isolation preserves the Workers=1-vs-N determinism
+// contract because a panic decision is a property of the individual being
+// evaluated, not of scheduling.
+func (e *Engine) runJob(j evalJob) {
+	n := 0
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			e.quarantine(j.ind)
+			j.evals.Add(int64(n))
+		}
+	}()
+	if !j.ind.Evaluated {
+		e.safeEvaluate(j.ind)
+		n++
+	}
+	if j.followUp != nil {
+		n += j.followUp(j.ind, j.rng)
+	}
+	j.evals.Add(int64(n))
+}
+
+// safeEvaluate runs one evaluation with panic isolation: a panicking
+// evaluator (an injected fault or a genuine bug in a pathological
+// candidate) is recovered and the individual is quarantined with +Inf
+// fitness, so selection discards it and the run continues.
+func (e *Engine) safeEvaluate(ind *Individual) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.quarantine(ind)
+		}
+	}()
+	e.eval.Evaluate(ind)
+}
+
+// quarantine marks an individual whose evaluation panicked: +Inf fitness
+// (always loses), evaluated (never re-run), counted.
+func (e *Engine) quarantine(ind *Individual) {
+	ind.Fitness = math.Inf(1)
+	ind.Evaluated = true
+	ind.FullEval = true
+	e.quarantined.Add(1)
+}
+
+// Quarantines returns the number of evaluations recovered from a panic so
+// far (observability; resets on Restore, like the evaluator cache
+// counters).
+func (e *Engine) Quarantines() int64 { return e.quarantined.Load() }
 
 // NewEngine validates the configuration and constructs an engine.
 func NewEngine(g *tag.Grammar, eval Evaluator, cfg Config) (*Engine, error) {
@@ -517,7 +568,7 @@ func (e *Engine) localSearch(ind *Individual, rng *rand.Rand) int {
 		if cand == nil {
 			continue
 		}
-		e.eval.Evaluate(cand)
+		e.safeEvaluate(cand) // a panicking candidate is +Inf: never adopted
 		evals++
 		if cand.Fitness < ind.Fitness {
 			*ind = *cand
@@ -560,7 +611,7 @@ func (e *Engine) refineElite(ind *Individual, sigma float64) {
 	for step := 0; step < e.cfg.EliteRefineSteps; step++ {
 		scale := sigma * (0.5 - 0.4*float64(step)/float64(e.cfg.EliteRefineSteps))
 		cand := GaussianMutation(e.rng.Rand, ind, e.cfg.Priors, scale, e.cfg.GaussPerParam)
-		e.eval.Evaluate(cand)
+		e.safeEvaluate(cand) // panic isolation: +Inf candidates are rejected
 		e.evaluations++
 		if cand.Fitness < ind.Fitness {
 			*ind = *cand

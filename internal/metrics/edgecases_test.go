@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMetricEdgeCases drives all four metrics through the degenerate-input
+// table: empty series, a single point, all-NaN series (either side), ±Inf
+// contamination, constant series (zero variance), and mismatched lengths.
+// Every metric must return its documented worst-case sentinel — never NaN,
+// and never panic (e.g. divide-by-zero on zero variance).
+func TestMetricEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name      string
+		pred, obs []float64
+	}{
+		{"empty", nil, nil},
+		{"empty non-nil", []float64{}, []float64{}},
+		{"single point", []float64{1}, []float64{2}},
+		{"all-NaN pred", []float64{nan, nan, nan}, []float64{1, 2, 3}},
+		{"all-NaN obs", []float64{1, 2, 3}, []float64{nan, nan, nan}},
+		{"NaN tail", []float64{1, 2, nan}, []float64{1, 2, 3}},
+		{"+Inf pred", []float64{1, math.Inf(1), 3}, []float64{1, 2, 3}},
+		{"-Inf obs", []float64{1, 2, 3}, []float64{1, math.Inf(-1), 3}},
+		{"constant obs", []float64{1, 2, 3}, []float64{5, 5, 5}},
+		{"constant both", []float64{4, 4, 4}, []float64{5, 5, 5}},
+		{"length mismatch", []float64{1, 2}, []float64{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if v := RMSE(tc.pred, tc.obs); math.IsNaN(v) {
+				t.Errorf("RMSE = NaN")
+			}
+			if v := MAE(tc.pred, tc.obs); math.IsNaN(v) {
+				t.Errorf("MAE = NaN")
+			}
+			if v := NSE(tc.pred, tc.obs); math.IsNaN(v) {
+				t.Errorf("NSE = NaN")
+			}
+			if v := R2(tc.pred, tc.obs); math.IsNaN(v) {
+				t.Errorf("R2 = NaN")
+			}
+		})
+	}
+
+	// Sentinel spot-checks: degenerate inputs land on the documented
+	// worst-case values, not merely "not NaN".
+	if v := RMSE([]float64{1, 2, nan}, []float64{1, 2, 3}); !math.IsInf(v, 1) {
+		t.Errorf("RMSE with NaN pred = %v, want +Inf", v)
+	}
+	if v := RMSE([]float64{1, 2, 3}, []float64{nan, nan, nan}); !math.IsInf(v, 1) {
+		t.Errorf("RMSE with all-NaN obs = %v, want +Inf", v)
+	}
+	if v := MAE(nil, nil); !math.IsInf(v, 1) {
+		t.Errorf("MAE(empty) = %v, want +Inf", v)
+	}
+	if v := NSE([]float64{4, 4, 4}, []float64{5, 5, 5}); !math.IsInf(v, -1) {
+		t.Errorf("NSE on zero-variance obs = %v, want -Inf", v)
+	}
+	if v := R2([]float64{1, 2, 3}, []float64{5, 5, 5}); v != 0 {
+		t.Errorf("R2 on constant obs = %v, want 0", v)
+	}
+	if v := R2([]float64{nan, 2, 3}, []float64{1, 2, 3}); v != 0 {
+		t.Errorf("R2 with NaN pred = %v, want 0", v)
+	}
+	if v := R2([]float64{1}, []float64{2}); v != 0 {
+		t.Errorf("R2 on a single point = %v, want 0", v)
+	}
+
+	// A healthy series still scores normally after the guards.
+	if v := R2([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(v-1) > 1e-12 {
+		t.Errorf("R2 on perfectly correlated series = %v, want 1", v)
+	}
+}

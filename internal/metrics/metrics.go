@@ -11,14 +11,16 @@ import (
 
 // RMSE returns the root mean square error between predicted and observed
 // series. It returns +Inf when the lengths differ or the series are empty,
-// or when any prediction is NaN/Inf, so that invalid models always lose.
+// or when any prediction or observation is NaN/Inf, so that invalid models
+// always lose (and a corrupt observation column can never smuggle a NaN
+// into a fitness comparison, where it would poison sorting).
 func RMSE(pred, obs []float64) float64 {
 	if len(pred) != len(obs) || len(pred) == 0 {
 		return math.Inf(1)
 	}
 	var sse float64
 	for i := range pred {
-		if math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
+		if !finite(pred[i]) || !finite(obs[i]) {
 			return math.Inf(1)
 		}
 		d := pred[i] - obs[i]
@@ -35,7 +37,7 @@ func MAE(pred, obs []float64) float64 {
 	}
 	var sae float64
 	for i := range pred {
-		if math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
+		if !finite(pred[i]) || !finite(obs[i]) {
 			return math.Inf(1)
 		}
 		sae += math.Abs(pred[i] - obs[i])
@@ -53,7 +55,7 @@ func NSE(pred, obs []float64) float64 {
 	mean := stats.Mean(obs)
 	var sse, sst float64
 	for i := range pred {
-		if math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
+		if !finite(pred[i]) || !finite(obs[i]) {
 			return math.Inf(-1)
 		}
 		d := pred[i] - obs[i]
@@ -68,8 +70,26 @@ func NSE(pred, obs []float64) float64 {
 }
 
 // R2 returns the squared Pearson correlation between predicted and observed
-// series.
+// series. Invalid input — mismatched lengths, fewer than two points,
+// constant series, or any non-finite value in either series — yields 0 (no
+// explanatory power). Without the finiteness guard, Pearson's sums would
+// propagate NaN through the zero-variance check and into reports.
 func R2(pred, obs []float64) float64 {
+	for i := range pred {
+		if !finite(pred[i]) {
+			return 0
+		}
+	}
+	for i := range obs {
+		if !finite(obs[i]) {
+			return 0
+		}
+	}
 	r := stats.Pearson(pred, obs)
 	return r * r
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }

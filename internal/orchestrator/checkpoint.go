@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"gmr/internal/faultinject"
 	"gmr/internal/gp"
 )
 
@@ -62,10 +63,18 @@ type scRefEvaluator interface {
 	SetShortCircuitRef(float64)
 }
 
+// BackupPath returns the last-good backup location of a checkpoint path:
+// before a new checkpoint is renamed into place, the previous one is
+// rotated here, so Resume can fall back when the primary file turns out
+// truncated or garbled (torn write, partial copy, disk corruption).
+func BackupPath(path string) string { return path + ".bak" }
+
 // checkpoint writes the current state to cfg.CheckpointPath atomically: the
-// snapshot is serialized to a temp file in the same directory, synced, and
-// renamed over the target, so a crash mid-write never corrupts an existing
-// checkpoint.
+// snapshot is serialized to a temp file in the same directory, synced, the
+// previous checkpoint is rotated to BackupPath, and the temp file is
+// renamed over the target — a crash mid-write never corrupts an existing
+// checkpoint, and even a torn write that slips through (simulated by the
+// Truncate fault class) leaves the previous snapshot recoverable.
 func (o *Orchestrator) checkpoint() error {
 	ck := &Checkpoint{
 		Version:    CheckpointVersion,
@@ -93,16 +102,32 @@ func (o *Orchestrator) checkpoint() error {
 	if anyRef {
 		ck.EvalSCRefBits = refs
 	}
-	if err := writeFileAtomic(o.cfg.CheckpointPath, ck); err != nil {
+	// The Truncate fault class simulates a torn write: the serialized
+	// snapshot is truncated before the rename, as if the process (or
+	// disk) died mid-flush without the filesystem noticing. The site
+	// hash is the generation number, so the same fault seed tears the
+	// same checkpoints on every run.
+	tear := o.cfg.Faults.Hit(faultinject.Truncate, checkpointSite(o.gen))
+	if err := writeFileAtomic(o.cfg.CheckpointPath, ck, tear); err != nil {
 		return err
 	}
 	o.tele.checkpointWritten(o.gen, o.cfg.CheckpointPath)
 	return nil
 }
 
+// checkpointSite is the fault-injection site hash of the generation-g
+// checkpoint write.
+func checkpointSite(g int) uint64 {
+	return faultinject.HashString("orchestrator.checkpoint") ^ uint64(g)
+}
+
 // writeFileAtomic serializes v as indented JSON into a temp file in path's
-// directory, fsyncs it, and renames it over path.
-func writeFileAtomic(path string, v any) error {
+// directory, fsyncs it, rotates any existing file at path to
+// BackupPath(path), and renames the temp file over path. With tear set
+// (fault injection only), the temp file is truncated to half its length
+// before the rename, simulating a torn write that produces a garbled
+// primary checkpoint while the rotated backup stays intact.
+func writeFileAtomic(path string, v any, tear bool) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -122,9 +147,20 @@ func writeFileAtomic(path string, v any) error {
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
 	}
+	if tear {
+		if fi, err := tmp.Stat(); err == nil {
+			_ = tmp.Truncate(fi.Size() / 2)
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("orchestrator: checkpoint %s: %v", path, err)
+	}
+	// Keep the previous checkpoint as the last-good fallback. Best
+	// effort: a missing previous file is the common first-checkpoint
+	// case, and a failed rotation must not block the fresh write.
+	if _, err := os.Stat(path); err == nil {
+		_ = os.Rename(path, BackupPath(path))
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
@@ -160,13 +196,26 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // continues from the checkpointed generation. The determinism contract
 // requires the Config to be identical to the one that wrote the checkpoint
 // (enforced via the stored digest).
+//
+// Corruption recovery: when the primary file is unreadable, truncated, or
+// garbled, Resume falls back to the last-good backup at BackupPath(path)
+// (rotated by every checkpoint write), emitting a "checkpoint_fallback"
+// telemetry record instead of aborting the run. Only when both files are
+// unusable does Resume fail. A config-digest mismatch is an operator
+// error, never recovered from the backup.
 func (o *Orchestrator) Resume(path string) error {
 	if o.resumed {
 		return fmt.Errorf("orchestrator: already resumed")
 	}
 	ck, err := LoadCheckpoint(path)
 	if err != nil {
-		return err
+		bak := BackupPath(path)
+		bck, berr := LoadCheckpoint(bak)
+		if berr != nil {
+			return fmt.Errorf("%w (last-good fallback failed too: %v)", err, berr)
+		}
+		o.tele.checkpointFallback(path, bak, bck.Gen, err.Error())
+		ck = bck
 	}
 	if got, want := ck.Config, o.digest(); got != want {
 		return fmt.Errorf("orchestrator: checkpoint %s was written by a different configuration: %+v, this run is %+v",

@@ -21,7 +21,12 @@
 //     fitnesses.
 //
 // Checkpoints are atomic (temp file + rename) versioned JSON snapshots;
-// a truncated or corrupted file is rejected with a descriptive error.
+// a truncated or corrupted file is rejected with a descriptive error. Every
+// write rotates the previous checkpoint to a ".bak" last-good backup, and
+// Resume falls back to it (with a telemetry event) when the primary file is
+// corrupted — see checkpoint.go and the fault-injection hooks (Config.Faults)
+// that chaos tests use to provoke torn writes, worker panics, and NaN
+// cascades on demand.
 package orchestrator
 
 import (
@@ -32,6 +37,7 @@ import (
 	"sync"
 
 	"gmr/internal/evalx"
+	"gmr/internal/faultinject"
 	"gmr/internal/gp"
 	"gmr/internal/stats"
 	"gmr/internal/tag"
@@ -70,6 +76,12 @@ type Config struct {
 	CheckpointEvery int
 	// Telemetry, when non-nil, receives the JSONL run telemetry.
 	Telemetry io.Writer
+	// Faults, when non-nil, is the run's fault injector. The orchestrator
+	// uses it for checkpoint-write truncation (the Truncate class) and
+	// reports its injection tally in the run_end telemetry record; pass
+	// the same injector to the evaluators (evalx.Options.Faults) so one
+	// counter set covers the whole run.
+	Faults *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -230,7 +242,7 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 	}
 
 	res := o.result(interrupted)
-	o.tele.runEnd(res)
+	o.tele.runEnd(res, o.Quarantines(), o.cfg.Faults.Snapshot())
 	return res, nil
 }
 
@@ -269,7 +281,8 @@ func (o *Orchestrator) migrate() {
 }
 
 // emitGenRecords writes one telemetry record per island for the current
-// generation, including the evaluator's cache snapshot when available.
+// generation, including the engine's panic-quarantine counter and the
+// evaluator's cache snapshot when available.
 func (o *Orchestrator) emitGenRecords() {
 	for i, e := range o.engines {
 		var cache *evalx.Snapshot
@@ -277,8 +290,17 @@ func (o *Orchestrator) emitGenRecords() {
 			s := sp.Snapshot()
 			cache = &s
 		}
-		o.tele.generation(i, e.LastStats(), cache)
+		o.tele.generation(i, e.LastStats(), e.Quarantines(), cache)
 	}
+}
+
+// Quarantines totals panic-recovered evaluations across all islands.
+func (o *Orchestrator) Quarantines() int64 {
+	var total int64
+	for _, e := range o.engines {
+		total += e.Quarantines()
+	}
+	return total
 }
 
 // result assembles the run outcome.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gmr/internal/evalx"
+	"gmr/internal/faultinject"
 	"gmr/internal/gp"
 )
 
@@ -52,13 +53,19 @@ type runStartRecord struct {
 }
 
 type genRecord struct {
-	Type        string          `json:"type"`
-	Island      int             `json:"island"`
-	Gen         int             `json:"gen"`
-	BestFitness jsonFloat       `json:"best_fitness"`
-	MeanFitness jsonFloat       `json:"mean_fitness"`
-	BestSize    int             `json:"best_size"`
-	Evaluations int             `json:"evaluations"`
+	Type        string    `json:"type"`
+	Island      int       `json:"island"`
+	Gen         int       `json:"gen"`
+	BestFitness jsonFloat `json:"best_fitness"`
+	MeanFitness jsonFloat `json:"mean_fitness"`
+	BestSize    int       `json:"best_size"`
+	Evaluations int       `json:"evaluations"`
+	// Quarantines is the engine's cumulative count of evaluations
+	// recovered from a panic (omitted when zero, keeping fault-free
+	// streams byte-identical to the previous format). Like the cache
+	// counters, it is per-process observability and restarts from zero
+	// on resume.
+	Quarantines int64           `json:"quarantines,omitempty"`
 	Cache       *evalx.Snapshot `json:"cache,omitempty"`
 }
 
@@ -84,6 +91,21 @@ type runEndRecord struct {
 	BestFitness jsonFloat `json:"best_fitness"`
 	Migrations  int       `json:"migrations"`
 	Interrupted bool      `json:"interrupted"`
+	// Quarantines totals panic-recovered evaluations across all islands.
+	Quarantines int64 `json:"quarantines,omitempty"`
+	// Faults is the fault injector's final injection tally, present only
+	// when injection was enabled for the run.
+	Faults *faultinject.Snapshot `json:"faults,omitempty"`
+}
+
+// checkpointFallbackRecord reports that Resume recovered from a corrupted
+// primary checkpoint by falling back to the last-good backup.
+type checkpointFallbackRecord struct {
+	Type   string `json:"type"`
+	Path   string `json:"path"`
+	Backup string `json:"backup"`
+	Gen    int    `json:"gen"`
+	Error  string `json:"error"`
 }
 
 // telemetry serializes records onto one writer. A nil writer disables the
@@ -126,7 +148,7 @@ func (t *telemetry) runStart(cfg Config, startGen int, resumed bool) {
 	})
 }
 
-func (t *telemetry) generation(island int, s gp.GenStats, cache *evalx.Snapshot) {
+func (t *telemetry) generation(island int, s gp.GenStats, quarantines int64, cache *evalx.Snapshot) {
 	t.emit(genRecord{
 		Type:        "gen",
 		Island:      island,
@@ -135,6 +157,7 @@ func (t *telemetry) generation(island int, s gp.GenStats, cache *evalx.Snapshot)
 		MeanFitness: jsonFloat(s.MeanFitness),
 		BestSize:    s.BestSize,
 		Evaluations: s.Evaluations,
+		Quarantines: quarantines,
 		Cache:       cache,
 	})
 }
@@ -154,16 +177,28 @@ func (t *telemetry) checkpointWritten(gen int, path string) {
 	t.emit(checkpointRecord{Type: "checkpoint", Gen: gen, Path: path})
 }
 
-func (t *telemetry) runEnd(res *Result) {
+func (t *telemetry) runEnd(res *Result, quarantines int64, faults *faultinject.Snapshot) {
 	rec := runEndRecord{
 		Type:        "run_end",
 		Generations: res.Generations,
 		BestIsland:  res.BestIsland,
 		Migrations:  res.Migrations,
 		Interrupted: res.Interrupted,
+		Quarantines: quarantines,
+		Faults:      faults,
 	}
 	if res.Best != nil {
 		rec.BestFitness = jsonFloat(res.Best.Fitness)
 	}
 	t.emit(rec)
+}
+
+func (t *telemetry) checkpointFallback(path, backup string, gen int, errMsg string) {
+	t.emit(checkpointFallbackRecord{
+		Type:   "checkpoint_fallback",
+		Path:   path,
+		Backup: backup,
+		Gen:    gen,
+		Error:  errMsg,
+	})
 }
