@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz chaos bench bencheval check clean
+.PHONY: all build vet test race fuzz chaos bench bencheval bench-diff check clean
 
 all: check
 
@@ -28,6 +28,7 @@ race:
 # accepts only one target per invocation, so targets run sequentially.
 fuzz:
 	$(GO) test -fuzz FuzzExprParseRoundTrip -fuzztime $(FUZZTIME) ./internal/expr/
+	$(GO) test -fuzz FuzzRegisterVMVsTreeEval -fuzztime $(FUZZTIME) ./internal/expr/
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/gp/
 
 # chaos runs the fault-injection suite (injected panics, NaN poison,
@@ -42,10 +43,19 @@ chaos:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/expr/ ./internal/bio/ ./internal/evalx/
 
-# bencheval snapshots evaluator cold / tier-1 / tier-2 numbers and cache
-# hit rates into BENCH_EVAL.json (the README performance table's source).
+# bencheval snapshots evaluator cold / tier-1 / param-batch / tier-2
+# numbers and cache hit rates into BENCH_EVAL.json (the README performance
+# table's source), once per GOMAXPROCS setting (1 and all CPUs).
 bencheval:
 	$(GO) run ./cmd/riverbench -exp bencheval
+
+# bench-diff re-measures the hot path and fails if any benchmark regresses
+# more than 15% in ns/op — or allocates at all more — against the committed
+# BENCH_EVAL.json. The fresh numbers land in /tmp so the baseline is only
+# updated deliberately (via `make bencheval`).
+bench-diff:
+	$(GO) run ./cmd/riverbench -exp bencheval \
+		-bench-out /tmp/BENCH_EVAL.head.json -baseline BENCH_EVAL.json
 
 check: build vet test race chaos fuzz
 

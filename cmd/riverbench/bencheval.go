@@ -24,8 +24,10 @@ type benchEvalResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-type benchEvalSnapshot struct {
-	GoVersion  string            `json:"go_version"`
+// benchEvalEntry groups one full benchmark run at a fixed GOMAXPROCS. The
+// snapshot records one entry per parallelism setting so regressions that
+// only show up under contention (or only single-threaded) are both caught.
+type benchEvalEntry struct {
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Benchmarks []benchEvalResult `json:"benchmarks"`
 	// Cache summarizes the two-tier cache behavior under a mixed GP-like
@@ -34,18 +36,107 @@ type benchEvalSnapshot struct {
 	Cache evalx.Snapshot `json:"cache"`
 }
 
-// runBenchEval measures the evaluator hot path in the three regimes of the
-// two-tier cache (cold, tier-1 hit, tier-2 hit) plus the simulation inner
-// loop, and snapshots ns/op, bytes/op, allocs/op, and cache hit rates into
-// outPath as JSON. The same numbers back the README performance table.
-func runBenchEval(ds *dataset.Dataset, outPath string) error {
+type benchEvalSnapshot struct {
+	GoVersion string           `json:"go_version"`
+	Entries   []benchEvalEntry `json:"entries,omitempty"`
+
+	// Legacy single-entry layout (pre-segmented-VM snapshots). Retained so
+	// -baseline can read baselines recorded before the multi-GOMAXPROCS
+	// format; new snapshots always use Entries.
+	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
+	Benchmarks []benchEvalResult `json:"benchmarks,omitempty"`
+	Cache      *evalx.Snapshot   `json:"cache,omitempty"`
+}
+
+// entries returns the snapshot's runs in the current format, upgrading the
+// legacy single-entry layout on the fly.
+func (s *benchEvalSnapshot) entries() []benchEvalEntry {
+	if len(s.Entries) > 0 {
+		return s.Entries
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil
+	}
+	e := benchEvalEntry{GOMAXPROCS: s.GOMAXPROCS, Benchmarks: s.Benchmarks}
+	if s.Cache != nil {
+		e.Cache = *s.Cache
+	}
+	return []benchEvalEntry{e}
+}
+
+// benchRegressionLimit is the ns/op slack allowed against the baseline
+// before runBenchEval reports a regression. Allocations get no slack: any
+// allocs/op increase is a failure (the steady-state paths are designed to
+// be allocation-free, so an extra allocation is a bug, not noise).
+const benchRegressionLimit = 1.15
+
+// runBenchEval measures the evaluator hot path in the regimes of the
+// two-tier cache (cold, tier-1 hit, tier-2 hit), the segmented parameter
+// batch path, and the simulation inner loops, once per GOMAXPROCS setting
+// (1 and all CPUs), and snapshots ns/op, bytes/op, allocs/op, and cache
+// hit rates into outPath as JSON. The same numbers back the README
+// performance table.
+//
+// When baselinePath is non-empty, the fresh numbers are compared against
+// the baseline snapshot and an error is returned if any benchmark regresses
+// by more than benchRegressionLimit in ns/op or allocates more per op —
+// that error is `make bench-diff` failing.
+func runBenchEval(ds *dataset.Dataset, outPath, baselinePath string) error {
+	// One pass pinned to a single P, one at full parallelism (at least 2 so
+	// the snapshot always carries both entries — on a single-CPU machine
+	// the second entry measures scheduler/GC interference only).
+	procs := []int{1, runtime.NumCPU()}
+	if procs[1] < 2 {
+		procs[1] = 2
+	}
+
+	var snap benchEvalSnapshot
+	snap.GoVersion = runtime.Version()
+	prev := runtime.GOMAXPROCS(0)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		fmt.Printf("benchmarking evaluator hot path (GOMAXPROCS=%d)...\n", p)
+		snap.Entries = append(snap.Entries, benchEvalEntry{
+			GOMAXPROCS: p,
+			Benchmarks: benchEvalPass(ds),
+		})
+		ent := &snap.Entries[len(snap.Entries)-1]
+		ent.Cache = benchEvalCachePass(ds)
+		fmt.Printf("  mixed workload: %d evals, tier-1 hit rate %.2f, tier-2 hit rate %.2f, %d compiles, %d exog plans\n",
+			ent.Cache.Evaluations, ent.Cache.Tier1HitRate, ent.Cache.Tier2HitRate, ent.Cache.Compiles, ent.Cache.ExogPlanBuilds)
+	}
+	runtime.GOMAXPROCS(prev)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+
+	if baselinePath != "" {
+		return compareBenchBaseline(&snap, baselinePath)
+	}
+	return nil
+}
+
+// benchEvalPass runs the benchmark set once at the current GOMAXPROCS.
+func benchEvalPass(ds *dataset.Dataset) []benchEvalResult {
 	forcing, obs := ds.TrainForcing(), ds.TrainObsPhy()
 	consts := bio.DefaultConstants()
 	simCfg := bio.SimConfig{SubSteps: 2, Phy0: obs[0], Zoo0: 1.5}
 
 	g, err := grammar.River(grammar.DefaultExtensions())
 	if err != nil {
-		return err
+		panic(err) // static grammar: failure is a programming error
 	}
 	means := bio.Means(consts)
 	newInds := func(n int, seed int64) []*gp.Individual {
@@ -67,11 +158,9 @@ func runBenchEval(ds *dataset.Dataset, outPath string) error {
 		})
 	}
 
-	var snap benchEvalSnapshot
-	snap.GoVersion = runtime.Version()
-	snap.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	var results []benchEvalResult
 	record := func(name string, r testing.BenchmarkResult) {
-		snap.Benchmarks = append(snap.Benchmarks, benchEvalResult{
+		results = append(results, benchEvalResult{
 			Name:        name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -81,8 +170,6 @@ func runBenchEval(ds *dataset.Dataset, outPath string) error {
 		fmt.Printf("  %-22s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
-
-	fmt.Println("benchmarking evaluator hot path (see BENCH_EVAL.json)...")
 
 	// Cold: full derive → simplify → bind → compile → simulate pipeline.
 	record("evaluate_cold", testing.Benchmark(func(b *testing.B) {
@@ -99,7 +186,8 @@ func runBenchEval(ds *dataset.Dataset, outPath string) error {
 		}
 	}))
 
-	// Tier-1 hit: known structure, fresh parameters — re-simulate only.
+	// Tier-1 hit: known structure, fresh parameters — prologue + step
+	// kernel over the hoisted exogenous plan.
 	record("evaluate_tier1_hit", testing.Benchmark(func(b *testing.B) {
 		inds := newInds(1, 13)
 		ev := newEval(true)
@@ -113,6 +201,32 @@ func runBenchEval(ds *dataset.Dataset, outPath string) error {
 			warm.Params[0] = 0.1 + float64(i)*1e-9
 			warm.Invalidate()
 			ev.Evaluate(warm)
+		}
+	}))
+
+	// Parameter batch: EvaluateParamBatch over one structure, amortized per
+	// member (b.N counts members, one batch call per 16). This is what a
+	// batched (1+λ) refinement proposal costs.
+	record("evaluate_param_batch", testing.Benchmark(func(b *testing.B) {
+		inds := newInds(1, 13)
+		ev := newEval(true)
+		ev.BeginBatch()
+		defer ev.EndBatch()
+		base := inds[0]
+		const lam = 16
+		paramSets := make([][]float64, lam)
+		for i := range paramSets {
+			paramSets[i] = append([]float64(nil), base.Params...)
+		}
+		out := make([]gp.BatchResult, 0, lam)
+		ev.EvaluateParamBatch(base, paramSets, out) // warm: derive, compile, plan
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += lam {
+			for j := range paramSets {
+				paramSets[j][0] = 0.1 + float64(i+j)*1e-9
+			}
+			ev.EvaluateParamBatch(base, paramSets, out[:0])
 		}
 	}))
 
@@ -132,7 +246,8 @@ func runBenchEval(ds *dataset.Dataset, outPath string) error {
 		}
 	}))
 
-	// Simulation inner loop with reused scratch (what a tier-1 hit pays).
+	// Simulation inner loop with reused scratch: the monolithic stack VM
+	// (what NoHoist pays per evaluation)...
 	record("bio_run_buf", testing.Benchmark(func(b *testing.B) {
 		phy, zoo, bconsts, err := bio.ManualSystem()
 		if err != nil {
@@ -152,43 +267,145 @@ func runBenchEval(ds *dataset.Dataset, outPath string) error {
 		}
 	}))
 
-	// Mixed GP-like workload for cache hit rates: a population of
-	// structures re-evaluated across rounds, parameters jittered in half
-	// of the evaluations (tier-2 misses that stay tier-1 hits).
-	{
-		inds := newInds(96, 21)
-		ev := newEval(true)
-		rng := rand.New(rand.NewSource(5))
-		ev.BeginBatch()
-		for round := 0; round < 4; round++ {
-			for _, ind := range inds {
-				c := ind.Clone()
-				if round > 0 && rng.Float64() < 0.5 {
-					c.Params[rng.Intn(len(c.Params))] *= 1 + rng.Float64()*1e-6
-				}
-				c.Invalidate()
-				ev.Evaluate(c)
-			}
+	// ...versus the segmented register VM consuming a prebuilt exogenous
+	// plan (what a tier-1 hit pays after hoisting).
+	record("bio_seg_kernel", testing.Benchmark(func(b *testing.B) {
+		phy, zoo, bconsts, err := bio.ManualSystem()
+		if err != nil {
+			b.Fatal(err)
 		}
-		ev.EndBatch()
-		snap.Cache = ev.Snapshot()
-		fmt.Printf("  mixed workload: %d evals, tier-1 hit rate %.2f, tier-2 hit rate %.2f, %d compiles\n",
-			snap.Cache.Evaluations, snap.Cache.Tier1HitRate, snap.Cache.Tier2HitRate, snap.Cache.Compiles)
+		seg, err := bio.NewSegSystem(phy, zoo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := bio.Means(bconsts)
+		plan := seg.BuildExogPlan(forcing)
+		var sc bio.SimScratch
+		seg.Prologue(params, &sc)
+		seg.Kernel(plan, simCfg, &sc, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seg.Prologue(params, &sc)
+			seg.Kernel(plan, simCfg, &sc, nil)
+		}
+	}))
+
+	return results
+}
+
+// benchEvalCachePass runs the mixed GP-like workload for cache hit rates: a
+// population of structures re-evaluated across rounds, parameters jittered
+// in half of the evaluations (tier-2 misses that stay tier-1 hits).
+func benchEvalCachePass(ds *dataset.Dataset) evalx.Snapshot {
+	forcing, obs := ds.TrainForcing(), ds.TrainObsPhy()
+	consts := bio.DefaultConstants()
+	simCfg := bio.SimConfig{SubSteps: 2, Phy0: obs[0], Zoo0: 1.5}
+	g, err := grammar.River(grammar.DefaultExtensions())
+	if err != nil {
+		panic(err)
+	}
+	means := bio.Means(consts)
+	rng := rand.New(rand.NewSource(21))
+	inds := make([]*gp.Individual, 96)
+	for i := range inds {
+		d, err := g.RandomDeriv(rng, 4, 18)
+		if err != nil {
+			panic(err)
+		}
+		inds[i] = gp.NewIndividual(d, means)
+	}
+	ev := evalx.New(forcing, obs, consts, evalx.Options{
+		UseCache: true, UseCompile: true, Simplify: true, Sim: simCfg,
+	})
+	jrng := rand.New(rand.NewSource(5))
+	ev.BeginBatch()
+	for round := 0; round < 4; round++ {
+		for _, ind := range inds {
+			c := ind.Clone()
+			if round > 0 && jrng.Float64() < 0.5 {
+				c.Params[jrng.Intn(len(c.Params))] *= 1 + jrng.Float64()*1e-6
+			}
+			c.Invalidate()
+			ev.Evaluate(c)
+		}
+	}
+	ev.EndBatch()
+	return ev.Snapshot()
+}
+
+// compareBenchBaseline diffs a fresh snapshot against the committed
+// baseline and returns an error describing every benchmark that regressed
+// (>15% ns/op, or any allocs/op increase). Entries are matched by
+// GOMAXPROCS; benchmarks by name. Benchmarks present on only one side are
+// reported informationally but do not fail the comparison, so the baseline
+// can be extended incrementally.
+func compareBenchBaseline(cur *benchEvalSnapshot, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchEvalSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseEntries := base.entries()
+	if len(baseEntries) == 0 {
+		return fmt.Errorf("baseline %s: no benchmark entries", baselinePath)
 	}
 
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
+	byProcs := make(map[int]map[string]benchEvalResult, len(baseEntries))
+	for _, e := range baseEntries {
+		m := make(map[string]benchEvalResult, len(e.Benchmarks))
+		for _, b := range e.Benchmarks {
+			m[b.Name] = b
+		}
+		byProcs[e.GOMAXPROCS] = m
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&snap); err != nil {
-		f.Close()
-		return err
+
+	var regressions []string
+	compared := 0
+	fmt.Printf("comparing against baseline %s (%s)\n", baselinePath, base.GoVersion)
+	for _, e := range cur.entries() {
+		bm, ok := byProcs[e.GOMAXPROCS]
+		if !ok {
+			fmt.Printf("  GOMAXPROCS=%d: no baseline entry, skipping\n", e.GOMAXPROCS)
+			continue
+		}
+		for _, c := range e.Benchmarks {
+			b, ok := bm[c.Name]
+			if !ok {
+				fmt.Printf("  GOMAXPROCS=%d %s: new benchmark (no baseline)\n", e.GOMAXPROCS, c.Name)
+				continue
+			}
+			compared++
+			ratio := c.NsPerOp / b.NsPerOp
+			status := "ok"
+			if ratio > benchRegressionLimit {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"GOMAXPROCS=%d %s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx limit)",
+					e.GOMAXPROCS, c.Name, c.NsPerOp, b.NsPerOp, ratio, benchRegressionLimit))
+			}
+			if c.AllocsPerOp > b.AllocsPerOp {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"GOMAXPROCS=%d %s: %d allocs/op vs baseline %d (no allocation increase allowed)",
+					e.GOMAXPROCS, c.Name, c.AllocsPerOp, b.AllocsPerOp))
+			}
+			fmt.Printf("  GOMAXPROCS=%d %-22s %6.2fx ns/op, %+d allocs/op  %s\n",
+				e.GOMAXPROCS, c.Name, ratio, c.AllocsPerOp-b.AllocsPerOp, status)
+		}
 	}
-	if err := f.Close(); err != nil {
-		return err
+	if compared == 0 {
+		return fmt.Errorf("baseline %s: no comparable benchmarks (GOMAXPROCS mismatch?)", baselinePath)
 	}
-	fmt.Printf("wrote %s\n\n", outPath)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "bench regression: %s\n", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(regressions), baselinePath)
+	}
+	fmt.Printf("baseline check passed: %d benchmarks within limits\n\n", compared)
 	return nil
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gmr/internal/evalx"
+)
+
+// Tests for the BENCH_EVAL.json regression comparator: legacy-format
+// upgrade, the 15% ns/op limit, and the zero-tolerance allocation rule.
+
+func writeBaseline(t *testing.T, v any) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "baseline.json")
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func snap(procs int, results ...benchEvalResult) *benchEvalSnapshot {
+	return &benchEvalSnapshot{
+		GoVersion: "go1.24.0",
+		Entries:   []benchEvalEntry{{GOMAXPROCS: procs, Benchmarks: results}},
+	}
+}
+
+func TestEntriesUpgradesLegacyLayout(t *testing.T) {
+	legacy := benchEvalSnapshot{
+		GoVersion:  "go1.24.0",
+		GOMAXPROCS: 1,
+		Benchmarks: []benchEvalResult{{Name: "evaluate_cold", NsPerOp: 100}},
+		Cache:      &evalx.Snapshot{Evaluations: 42},
+	}
+	es := legacy.entries()
+	if len(es) != 1 {
+		t.Fatalf("legacy snapshot upgraded to %d entries, want 1", len(es))
+	}
+	if es[0].GOMAXPROCS != 1 || len(es[0].Benchmarks) != 1 || es[0].Cache.Evaluations != 42 {
+		t.Fatalf("legacy upgrade dropped fields: %+v", es[0])
+	}
+	if (&benchEvalSnapshot{}).entries() != nil {
+		t.Fatal("empty snapshot should produce no entries")
+	}
+}
+
+func TestCompareBenchBaselineWithinLimits(t *testing.T) {
+	base := writeBaseline(t, snap(1,
+		benchEvalResult{Name: "evaluate_tier1_hit", NsPerOp: 1000, AllocsPerOp: 1}))
+	cur := snap(1, benchEvalResult{Name: "evaluate_tier1_hit", NsPerOp: 1100, AllocsPerOp: 1})
+	if err := compareBenchBaseline(cur, base); err != nil {
+		t.Fatalf("10%% slower should pass the 15%% limit: %v", err)
+	}
+}
+
+func TestCompareBenchBaselineNsRegression(t *testing.T) {
+	base := writeBaseline(t, snap(1,
+		benchEvalResult{Name: "evaluate_tier1_hit", NsPerOp: 1000, AllocsPerOp: 1}))
+	cur := snap(1, benchEvalResult{Name: "evaluate_tier1_hit", NsPerOp: 1200, AllocsPerOp: 1})
+	if err := compareBenchBaseline(cur, base); err == nil {
+		t.Fatal("20% ns/op regression must fail")
+	}
+}
+
+func TestCompareBenchBaselineAllocRegression(t *testing.T) {
+	base := writeBaseline(t, snap(1,
+		benchEvalResult{Name: "evaluate_param_batch", NsPerOp: 1000, AllocsPerOp: 0}))
+	cur := snap(1, benchEvalResult{Name: "evaluate_param_batch", NsPerOp: 900, AllocsPerOp: 1})
+	if err := compareBenchBaseline(cur, base); err == nil {
+		t.Fatal("a single extra alloc/op must fail, even when faster")
+	}
+}
+
+func TestCompareBenchBaselineLegacyFile(t *testing.T) {
+	// A legacy (pre-Entries) baseline must still be comparable.
+	base := writeBaseline(t, map[string]any{
+		"go_version": "go1.24.0",
+		"gomaxprocs": 1,
+		"benchmarks": []benchEvalResult{{Name: "evaluate_cold", NsPerOp: 1000, AllocsPerOp: 534}},
+	})
+	cur := snap(1, benchEvalResult{Name: "evaluate_cold", NsPerOp: 980, AllocsPerOp: 267})
+	if err := compareBenchBaseline(cur, base); err != nil {
+		t.Fatalf("legacy baseline comparison failed: %v", err)
+	}
+}
+
+func TestCompareBenchBaselineSkipsAndErrors(t *testing.T) {
+	// New benchmarks (no baseline row) are informational, not failures.
+	base := writeBaseline(t, snap(1,
+		benchEvalResult{Name: "evaluate_cold", NsPerOp: 1000, AllocsPerOp: 267}))
+	cur := snap(1,
+		benchEvalResult{Name: "evaluate_cold", NsPerOp: 1000, AllocsPerOp: 267},
+		benchEvalResult{Name: "brand_new_bench", NsPerOp: 9999, AllocsPerOp: 99})
+	if err := compareBenchBaseline(cur, base); err != nil {
+		t.Fatalf("new benchmark must not fail the comparison: %v", err)
+	}
+	// But zero comparable benchmarks is an error (mismatched snapshot).
+	cur2 := snap(8, benchEvalResult{Name: "evaluate_cold", NsPerOp: 1000})
+	if err := compareBenchBaseline(cur2, base); err == nil {
+		t.Fatal("no comparable benchmarks must be an error")
+	}
+	if err := compareBenchBaseline(cur, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline must be an error")
+	}
+}

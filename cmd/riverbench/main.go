@@ -7,13 +7,16 @@
 //	riverbench -exp fig11
 //	riverbench -exp islands [-islands 4] [-checkpoint run.ckpt] [-resume] [-telemetry ISLANDS.jsonl] \
 //	           [-faults "seed=42,panic:0.01,nan:0.01,trunc:0.1"]
-//	riverbench -exp bencheval [-bench-out BENCH_EVAL.json]
+//	riverbench -exp bencheval [-bench-out BENCH_EVAL.json] [-baseline BENCH_EVAL.json]
 //	riverbench -exp all
 //
 // Rows are printed in the paper's layout so results can be compared side by
 // side with Table V and Figures 1, 9, 10, and 11 (see EXPERIMENTS.md).
 // -exp bencheval snapshots the evaluator hot-path benchmarks (cold /
-// tier-1 hit / tier-2 hit, plus cache hit rates) into a JSON file.
+// tier-1 hit / param batch / tier-2 hit, plus cache hit rates) into a JSON
+// file, once per GOMAXPROCS setting (1 and all CPUs); with -baseline it
+// additionally compares against a committed snapshot and exits non-zero on
+// any >15% ns/op regression or allocs/op increase (`make bench-diff`).
 // -exp islands runs GMR as an island model with elite migration, streaming
 // JSONL telemetry (per-island generation stats, migration events, evaluator
 // cache hit rates) and optionally checkpointing for crash-safe resume.
@@ -51,6 +54,7 @@ func main() {
 		pop      = flag.Int("pop", 60, "fig10 workload size (individuals)")
 		md       = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables (for EXPERIMENTS.md)")
 		benchOut = flag.String("bench-out", "BENCH_EVAL.json", "output path for the -exp bencheval snapshot")
+		baseline = flag.String("baseline", "", "bencheval: compare against this snapshot and fail on >15% ns/op or any allocs/op regression")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -92,6 +96,12 @@ func main() {
 		fatal(err)
 	}
 	defer profileStop()
+	if *cpuProf != "" || *memProf != "" || *pprofSrv != "" {
+		// Tag evaluation phases (eval_phase) and islands on worker
+		// goroutines so profiles slice by pipeline stage. Only when
+		// profiling: the labels allocate on the hot path.
+		experiments.ProfileLabels = true
+	}
 	fmt.Printf("generating synthetic Nakdong dataset (seed %d)...\n", *dsSeed)
 	ds, err := experiments.DefaultDataset(*dsSeed)
 	if err != nil {
@@ -298,7 +308,7 @@ func main() {
 	case "islands":
 		runIslands()
 	case "bencheval":
-		if err := runBenchEval(ds, *benchOut); err != nil {
+		if err := runBenchEval(ds, *benchOut, *baseline); err != nil {
 			fatal(err)
 		}
 	case "all":
@@ -307,7 +317,7 @@ func main() {
 		runFig10()
 		runFig11()
 		runAblation()
-		if err := runBenchEval(ds, *benchOut); err != nil {
+		if err := runBenchEval(ds, *benchOut, *baseline); err != nil {
 			fatal(err)
 		}
 	default:

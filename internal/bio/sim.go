@@ -120,6 +120,7 @@ type SimScratch struct {
 	phyStack []float64
 	zooStack []float64
 	preds    []float64
+	regs     []float64 // register file for the segmented VM (see seg.go)
 }
 
 func growBuf(b []float64, n int) []float64 {

@@ -109,6 +109,63 @@ func BenchmarkEvaluate_Tier1Hit(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluate_Tier1Hit_NoHoist is the ablation twin of Tier1Hit: the
+// same parameter-only workload forced onto the monolithic stack VM. The
+// gap between the two is the segmented register VM's win (DESIGN.md §10).
+func BenchmarkEvaluate_Tier1Hit_NoHoist(b *testing.B) {
+	inds := benchIndividuals(b, 1, 13)
+	forcing, obs := benchWindow(b)
+	ev := New(forcing, obs, bio.DefaultConstants(), Options{
+		UseCache: true, UseCompile: true, Simplify: true, NoHoist: true,
+		Sim: bio.SimConfig{SubSteps: 2, Phy0: obs[0], Zoo0: 1.5}})
+	ev.BeginBatch()
+	defer ev.EndBatch()
+	warm := inds[0]
+	ev.Evaluate(warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm.Params[0] = 0.1 + float64(i)*1e-9
+		warm.Invalidate()
+		ev.Evaluate(warm)
+	}
+}
+
+// BenchmarkEvaluateParamBatch measures the segmented batch path amortized
+// per member: one structure, batches of 16 parameter vectors, reused
+// result buffer. Steady state this must be allocation-free — the same
+// contract TestBatchSteadyStateZeroAllocs enforces exactly.
+func BenchmarkEvaluateParamBatch(b *testing.B) {
+	inds := benchIndividuals(b, 1, 13)
+	ev := benchEvaluator(b, true)
+	ev.BeginBatch()
+	defer ev.EndBatch()
+	base := inds[0]
+	const lam = 16
+	paramSets := make([][]float64, lam)
+	for i := range paramSets {
+		paramSets[i] = append([]float64(nil), base.Params...)
+	}
+	out := make([]gp.BatchResult, 0, lam)
+	ev.EvaluateParamBatch(base, paramSets, out) // warm: derive, compile, plan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lam {
+		for j := range paramSets {
+			paramSets[j][0] = 0.1 + float64(i+j)*1e-9
+		}
+		ev.EvaluateParamBatch(base, paramSets, out[:0])
+	}
+	b.StopTimer()
+	st := ev.Stats()
+	if st.Compiles != 1 || st.Derives != 1 {
+		b.Fatalf("batch path must not re-derive or re-compile: derives=%d compiles=%d", st.Derives, st.Compiles)
+	}
+	if st.ExogPlanBuilds != 1 {
+		b.Fatalf("batch path must reuse one exogenous plan, built %d", st.ExogPlanBuilds)
+	}
+}
+
 // BenchmarkEvaluate_Tier2Hit re-evaluates one identical (structure, params)
 // pair: after warm-up every op is a pure fitness-cache hit.
 func BenchmarkEvaluate_Tier2Hit(b *testing.B) {

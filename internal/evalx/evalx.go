@@ -33,6 +33,7 @@ package evalx
 import (
 	"context"
 	"math"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -84,6 +85,12 @@ type Options struct {
 	Extrap Extrapolate
 	// UseCompile selects bytecode compilation over tree interpretation.
 	UseCompile bool
+	// NoHoist disables the segmented register VM (DESIGN.md §10) and
+	// forces the monolithic stack-VM simulation path even when UseCompile
+	// is set. It exists for ablation benchmarks and the segmented-vs-
+	// monolithic differential tests; production configurations leave it
+	// false.
+	NoHoist bool
 	// Simplify applies algebraic simplification before evaluation (and
 	// before cache lookup, raising the hit rate).
 	Simplify bool
@@ -107,6 +114,13 @@ type Options struct {
 	// deadline as a safety valve for pathological candidates, not part
 	// of reproducible experiments.
 	EvalDeadline time.Duration
+	// ProfileLabels enables per-phase pprof labels (eval_phase =
+	// exog-plan / prologue / step-kernel) on the evaluation hot path, the
+	// same toggle as Evaluator.SetProfileLabels. Enable only for
+	// profiling runs: each labeled region allocates a pprof label set,
+	// which forfeits the zero-allocation contract of the steady-state
+	// paths (riverbench flips this on together with -cpuprofile/-pprof).
+	ProfileLabels bool
 }
 
 func (o Options) withDefaults() Options {
@@ -184,6 +198,14 @@ type Stats struct {
 	StepsEvaluated int // total fitness cases actually simulated
 	StepsPossible  int // fitness cases that full evaluation would cost
 
+	// Tier-1.5 (exogenous-plan) cache and batch-evaluation counters
+	// (DESIGN.md §10).
+	ExogPlanBuilds int // T×k exogenous matrices materialized (once per structure)
+	ExogPlanHits   int // segmented simulations served by an existing plan
+	RegsHoisted    int // exogenous registers hoisted across all plan builds (Σ k)
+	BatchCalls     int // EvaluateParamBatch invocations
+	BatchMembers   int // parameter vectors evaluated through the batch API
+
 	// Quarantine counters, by reason code (simulations aborted with +Inf
 	// fitness rather than a measured RMSE).
 	QuarNaN          int // state became NaN mid-simulation
@@ -208,6 +230,11 @@ func (s *Stats) Add(o Stats) {
 	s.Compiles += o.Compiles
 	s.StepsEvaluated += o.StepsEvaluated
 	s.StepsPossible += o.StepsPossible
+	s.ExogPlanBuilds += o.ExogPlanBuilds
+	s.ExogPlanHits += o.ExogPlanHits
+	s.RegsHoisted += o.RegsHoisted
+	s.BatchCalls += o.BatchCalls
+	s.BatchMembers += o.BatchMembers
 	s.QuarNaN += o.QuarNaN
 	s.QuarInf += o.QuarInf
 	s.QuarDeadline += o.QuarDeadline
@@ -226,6 +253,11 @@ type counters struct {
 	compiles       atomic.Int64
 	stepsEvaluated atomic.Int64
 	stepsPossible  atomic.Int64
+	exogPlanBuilds atomic.Int64
+	exogPlanHits   atomic.Int64
+	regsHoisted    atomic.Int64
+	batchCalls     atomic.Int64
+	batchMembers   atomic.Int64
 	quarantine     [numReasons]atomic.Int64
 }
 
@@ -240,6 +272,11 @@ func (c *counters) snapshot() Stats {
 		Compiles:         int(c.compiles.Load()),
 		StepsEvaluated:   int(c.stepsEvaluated.Load()),
 		StepsPossible:    int(c.stepsPossible.Load()),
+		ExogPlanBuilds:   int(c.exogPlanBuilds.Load()),
+		ExogPlanHits:     int(c.exogPlanHits.Load()),
+		RegsHoisted:      int(c.regsHoisted.Load()),
+		BatchCalls:       int(c.batchCalls.Load()),
+		BatchMembers:     int(c.batchMembers.Load()),
 		QuarNaN:          int(c.quarantine[ReasonNaN].Load()),
 		QuarInf:          int(c.quarantine[ReasonInf].Load()),
 		QuarDeadline:     int(c.quarantine[ReasonDeadline].Load()),
@@ -257,6 +294,11 @@ func (c *counters) reset() {
 	c.compiles.Store(0)
 	c.stepsEvaluated.Store(0)
 	c.stepsPossible.Store(0)
+	c.exogPlanBuilds.Store(0)
+	c.exogPlanHits.Store(0)
+	c.regsHoisted.Store(0)
+	c.batchCalls.Store(0)
+	c.batchMembers.Store(0)
 	for i := range c.quarantine {
 		c.quarantine[i].Store(0)
 	}
@@ -286,6 +328,13 @@ type Evaluator struct {
 
 	shards [cacheShards]cacheShard
 	ctr    counters
+
+	// profLabels enables per-phase pprof labels (eval_phase = exog-plan /
+	// prologue / step-kernel) so CPU profiles attribute time to the
+	// segments of the register VM. Off by default: pprof.Do allocates a
+	// label set per call, which would break the zero-allocation contract
+	// of the steady-state paths.
+	profLabels bool
 
 	// frozenBits is the short-circuiting reference for the current
 	// batch (math.Float64bits), written only at batch boundaries and
@@ -319,6 +368,16 @@ type structEntry struct {
 	shared *bio.SharedSystem // compiled (UseCompile); immutable, concurrent-safe
 	tree   *bio.System       // interpreted fallback; TreeRHS is concurrent-safe
 	bad    bool              // structure failed to bind or compile
+
+	// Segmented register VM (DESIGN.md §10): seg is the register program
+	// compiled alongside the stack programs; plan is the lazily built
+	// tier-1.5 exogenous matrix for this evaluator's forcing series. An
+	// evaluator owns exactly one dataset, so the (structure, dataset)
+	// cache key of the issue reduces to the structure — the plan can hang
+	// off the tier-1 entry and be built at most once via planOnce.
+	seg      *bio.SegSystem
+	planOnce sync.Once
+	plan     *bio.ExogPlan
 }
 
 // cacheShards stripes both cache tiers; must be a power of two.
@@ -361,6 +420,7 @@ func New(forcing [][]float64, obs []float64, consts []bio.Constant, opts Options
 		keyTag:       'r',
 		bestPrevFull: math.Inf(1),
 		pendingBest:  math.Inf(1),
+		profLabels:   o.ProfileLabels,
 	}
 	if o.Simplify {
 		e.keyTag = 's'
@@ -393,6 +453,12 @@ func (e *Evaluator) EndBatch() {
 	e.batchMu.Unlock()
 }
 
+// SetProfileLabels toggles per-phase pprof labels on the evaluation hot
+// path (see Evaluator.profLabels). Enable it only for profiling runs: the
+// labels allocate per evaluation. Call before evaluations start, not
+// concurrently with them.
+func (e *Evaluator) SetProfileLabels(on bool) { e.profLabels = on }
+
 // Stats returns a snapshot of the work counters.
 func (e *Evaluator) Stats() Stats { return e.ctr.snapshot() }
 
@@ -421,6 +487,15 @@ type Snapshot struct {
 	StepsEvaluated int     `json:"steps_evaluated"`
 	StepsPossible  int     `json:"steps_possible"`
 
+	// Tier-1.5 exogenous-plan cache and batch-evaluation telemetry
+	// (DESIGN.md §10): plans are hoisted T×k forcing matrices built once
+	// per structure; hits are segmented simulations that reused one.
+	ExogPlanBuilds int `json:"exog_plan_builds"`
+	ExogPlanHits   int `json:"exog_plan_hits"`
+	RegsHoisted    int `json:"regs_hoisted"`
+	BatchCalls     int `json:"batch_calls"`
+	BatchMembers   int `json:"batch_members"`
+
 	// Quarantine counters (omitted when zero, so fault-free streams keep
 	// their previous byte format).
 	QuarNaN          int `json:"quar_nan,omitempty"`
@@ -447,6 +522,11 @@ func (e *Evaluator) Snapshot() Snapshot {
 		Compiles:         st.Compiles,
 		StepsEvaluated:   st.StepsEvaluated,
 		StepsPossible:    st.StepsPossible,
+		ExogPlanBuilds:   st.ExogPlanBuilds,
+		ExogPlanHits:     st.ExogPlanHits,
+		RegsHoisted:      st.RegsHoisted,
+		BatchCalls:       st.BatchCalls,
+		BatchMembers:     st.BatchMembers,
 		QuarNaN:          st.QuarNaN,
 		QuarInf:          st.QuarInf,
 		QuarDeadline:     st.QuarDeadline,
@@ -502,26 +582,7 @@ func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
 	defer e.scratch.Put(sc)
 
 	if !e.opts.UseCache {
-		// Uncached pipeline (the Fig 10 ablation baseline): derive,
-		// bind, build, and simulate on every call.
-		phy, zoo, err := e.deriveSplitSimplify(ind)
-		if err != nil {
-			e.ctr.quarantineCount(ReasonBadStructure)
-			return math.Inf(1), true
-		}
-		ent := e.buildEntry(phy, zoo)
-		if ent.bad {
-			e.ctr.quarantineCount(ReasonBadStructure)
-			return math.Inf(1), true
-		}
-		// Without a cache key, the injection site hash derives from the
-		// parameter vector (bit patterns), seeded by a fixed base.
-		site := faultinject.HashFloats(uncachedSiteBase, ind.Params)
-		e.injectPre(site)
-		fitness, full, steps, reason := e.simulate(ent, ind.Params, sc, site)
-		e.ctr.quarantineCount(reason)
-		e.recordResult(fitness, full, steps)
-		return fitness, full
+		return e.evalUncached(ind, ind.Params, sc)
 	}
 
 	ent, key := e.structFor(ind)
@@ -565,6 +626,101 @@ func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
 	}
 	sh.mu.Unlock()
 	return fitness, full
+}
+
+// evalUncached is the cache-free pipeline (the Fig 10 ablation baseline):
+// derive, bind, build, and simulate on every call, scoring ind's structure
+// under an explicit parameter vector.
+func (e *Evaluator) evalUncached(ind *gp.Individual, params []float64, sc *evalScratch) (float64, bool) {
+	phy, zoo, err := e.deriveSplitSimplify(ind)
+	if err != nil {
+		e.ctr.quarantineCount(ReasonBadStructure)
+		return math.Inf(1), true
+	}
+	ent := e.buildEntry(phy, zoo)
+	if ent.bad {
+		e.ctr.quarantineCount(ReasonBadStructure)
+		return math.Inf(1), true
+	}
+	// Without a cache key, the injection site hash derives from the
+	// parameter vector (bit patterns), seeded by a fixed base.
+	site := faultinject.HashFloats(uncachedSiteBase, params)
+	e.injectPre(site)
+	fitness, full, steps, reason := e.simulate(ent, params, sc, site)
+	e.ctr.quarantineCount(reason)
+	e.recordResult(fitness, full, steps)
+	return fitness, full
+}
+
+// EvaluateParamBatch scores many parameter vectors against one individual's
+// structure in a single call (gp.BatchEvaluator): the structure is resolved
+// through the tier-1 cache once, the tier-1.5 exogenous plan is shared by
+// every member, and each member pays only the parameter prologue plus the
+// state-dependent step kernel. Results are appended to out and returned,
+// one per parameter vector, equivalent to sequential Evaluate calls (same
+// fitnesses, same fault-injection sites, same short-circuit decisions under
+// the batch-frozen reference).
+//
+// Unlike Evaluate, the batch path consults the tier-2 fitness cache but
+// never inserts into it: parameter sweeps are high-churn (Gaussian-mutation
+// proposals are almost never replayed verbatim), and skipping the insert
+// avoids materializing a key string per member — the steady-state batch
+// path is allocation-free. It is safe for concurrent calls between
+// BeginBatch and EndBatch.
+func (e *Evaluator) EvaluateParamBatch(ind *gp.Individual, paramSets [][]float64, out []gp.BatchResult) []gp.BatchResult {
+	e.ctr.batchCalls.Add(1)
+	e.ctr.batchMembers.Add(int64(len(paramSets)))
+
+	sc := e.scratch.Get().(*evalScratch)
+	defer e.scratch.Put(sc)
+
+	if !e.opts.UseCache {
+		// Ablation configurations run the full uncached pipeline per
+		// member, exactly like sequential Evaluate calls, so the Fig 10
+		// derive/compile counters keep their meaning.
+		for _, ps := range paramSets {
+			e.ctr.evaluations.Add(1)
+			e.ctr.stepsPossible.Add(int64(len(e.obs)))
+			fitness, full := e.evalUncached(ind, ps, sc)
+			out = append(out, gp.BatchResult{Fitness: fitness, Full: full})
+		}
+		return out
+	}
+
+	ent, key := e.structFor(ind)
+	if ent != nil && !ent.bad && len(paramSets) > 1 {
+		// The remaining members share the resolved structure by
+		// construction; count them as tier-1 hits so hit-rate telemetry
+		// stays comparable with sequential evaluation.
+		e.ctr.tier1Hits.Add(int64(len(paramSets) - 1))
+	}
+	for _, ps := range paramSets {
+		e.ctr.evaluations.Add(1)
+		e.ctr.stepsPossible.Add(int64(len(e.obs)))
+		if ent == nil || ent.bad {
+			e.ctr.quarantineCount(ReasonBadStructure)
+			out = append(out, gp.BatchResult{Fitness: math.Inf(1), Full: true})
+			continue
+		}
+		kb := appendFitKey(sc.key[:0], key, ps)
+		sc.key = kb
+		site := hashBytes(kb)
+		e.injectPre(site)
+		sh := &e.shards[site&(cacheShards-1)]
+		sh.mu.Lock()
+		if hit, ok := sh.fits[string(kb)]; ok {
+			sh.mu.Unlock()
+			e.ctr.cacheHits.Add(1)
+			out = append(out, gp.BatchResult{Fitness: hit.fitness, Full: hit.full})
+			continue
+		}
+		sh.mu.Unlock()
+		fitness, full, steps, reason := e.simulate(ent, ps, sc, site)
+		e.ctr.quarantineCount(reason)
+		e.recordResult(fitness, full, steps)
+		out = append(out, gp.BatchResult{Fitness: fitness, Full: full})
+	}
+	return out
 }
 
 // uncachedSiteBase seeds the injection site hash of the uncached pipeline
@@ -659,8 +815,11 @@ func (e *Evaluator) deriveSplitSimplify(ind *gp.Individual) (phy, zoo *expr.Node
 		return nil, nil, err
 	}
 	if e.opts.Simplify {
-		phy = expr.Simplify(phy)
-		zoo = expr.Simplify(zoo)
+		// Derive() built a fresh tree nobody else holds, so simplify in
+		// place instead of paying another full-tree clone (the cold path's
+		// single largest allocation source).
+		phy = expr.SimplifyOwned(phy)
+		zoo = expr.SimplifyOwned(zoo)
 	}
 	return phy, zoo, nil
 }
@@ -677,9 +836,47 @@ func (e *Evaluator) buildEntry(phy, zoo *expr.Node) *structEntry {
 		if err != nil {
 			return &structEntry{bad: true}
 		}
-		return &structEntry{shared: ss}
+		ent := &structEntry{shared: ss}
+		if e.opts.UseCache && !e.opts.NoHoist {
+			// The segmented path only pays off when the entry (and its
+			// exogenous plan) is reused, so it rides on the tier-1 cache;
+			// the uncached ablation keeps the monolithic stack VM as its
+			// baseline and never builds throwaway plans.
+			// The segmented register program rides along with the stack
+			// programs; if segmented compilation fails (it accepts the
+			// same node set, so it should not), the entry silently falls
+			// back to the monolithic path.
+			if seg, err := bio.NewSegSystem(phy, zoo); err == nil {
+				ent.seg = seg
+			}
+		}
+		return ent
 	}
 	return &structEntry{tree: bio.NewTreeSystem(phy, zoo)}
+}
+
+// planFor resolves the tier-1.5 exogenous plan of a structure: the T×k
+// matrix of hoisted forcing-only register values over this evaluator's
+// training window. The first caller materializes it (EvalExog over the
+// whole series); every later simulation of the same structure reuses it.
+func (e *Evaluator) planFor(ent *structEntry) *bio.ExogPlan {
+	built := false
+	ent.planOnce.Do(func() {
+		if e.profLabels {
+			pprof.Do(context.Background(), pprof.Labels("eval_phase", "exog-plan"), func(context.Context) {
+				ent.plan = ent.seg.BuildExogPlan(e.forcing)
+			})
+		} else {
+			ent.plan = ent.seg.BuildExogPlan(e.forcing)
+		}
+		e.ctr.exogPlanBuilds.Add(1)
+		e.ctr.regsHoisted.Add(int64(ent.plan.Width()))
+		built = true
+	})
+	if !built {
+		e.ctr.exogPlanHits.Add(1)
+	}
+	return ent.plan
 }
 
 // renderKey builds the canonical structure key: the simplify-mode tag and
@@ -781,9 +978,26 @@ func (e *Evaluator) simulate(ent *structEntry, params []float64, sc *evalScratch
 		}
 		return true
 	}
-	if ent.shared != nil {
+	switch {
+	case ent.seg != nil:
+		// Segmented path (DESIGN.md §10): exogenous work is served from
+		// the tier-1.5 plan, the parameter prologue runs once, and only
+		// the state-dependent STEP segment runs per substep.
+		plan := e.planFor(ent)
+		if e.profLabels {
+			pprof.Do(context.Background(), pprof.Labels("eval_phase", "prologue"), func(context.Context) {
+				ent.seg.Prologue(params, &sc.sim)
+			})
+			pprof.Do(context.Background(), pprof.Labels("eval_phase", "step-kernel"), func(context.Context) {
+				ent.seg.Kernel(plan, e.opts.Sim, &sc.sim, perStep)
+			})
+		} else {
+			ent.seg.Prologue(params, &sc.sim)
+			ent.seg.Kernel(plan, e.opts.Sim, &sc.sim, perStep)
+		}
+	case ent.shared != nil:
 		ent.shared.Run(e.forcing, params, e.opts.Sim, &sc.sim, perStep)
-	} else {
+	default:
 		ent.tree.RunBuf(e.forcing, params, e.opts.Sim, &sc.sim, perStep)
 	}
 	if scd {
@@ -839,4 +1053,7 @@ func ModelExprs(ind *gp.Individual) (phy, zoo *expr.Node, err error) {
 	return expr.Simplify(phy), expr.Simplify(zoo), nil
 }
 
-var _ gp.Evaluator = (*Evaluator)(nil)
+var (
+	_ gp.Evaluator      = (*Evaluator)(nil)
+	_ gp.BatchEvaluator = (*Evaluator)(nil)
+)

@@ -115,6 +115,7 @@ func Fig10(ctx context.Context, ds *dataset.Dataset, sc Scale, popSize int, seed
 			UseCompile:      combo.RC,
 			Simplify:        combo.TC, // simplification exists to raise cache hits
 			Sim:             sim,
+			ProfileLabels:   ProfileLabels,
 		}
 		ev := evalx.New(ds.TrainForcing(), ds.TrainObsPhy(), consts, opts)
 		start := time.Now()

@@ -32,6 +32,16 @@ func Simplify(n *Node) *Node {
 	return simplify(n.Clone())
 }
 
+// SimplifyOwned is Simplify without the defensive copy: it rewrites the
+// tree in place and returns the (possibly different) root. The caller must
+// exclusively own n — typically a freshly derived tree — and must use only
+// the returned root afterwards. This is the evaluator cold path's variant:
+// deriving produces a throwaway tree, so cloning it again before
+// simplification only feeds the garbage collector.
+func SimplifyOwned(n *Node) *Node {
+	return simplify(n)
+}
+
 // Canon returns the canonical form of a tree: algebraic simplification plus
 // the operand normalizations (literals to the right of commutative
 // operators, associative literal folding) that make structurally equal

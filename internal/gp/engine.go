@@ -63,6 +63,16 @@ type Config struct {
 	// (model calibration inside model revision). Zero means
 	// 4×LocalSearchSteps; negative disables refinement.
 	EliteRefineSteps int
+	// RefineBatch is λ of the batched (1+λ) champion-refinement strategy:
+	// when the evaluator implements BatchEvaluator, each refinement round
+	// draws λ Gaussian proposals from the current champion and scores the
+	// parameter-only ones through EvaluateParamBatch in fixed-size chunks
+	// fanned across the worker pool, amortizing structure resolution and
+	// exogenous hoisting over the sweep (DESIGN.md §10). Zero means 8;
+	// 1 (or a plain Evaluator) reproduces the sequential hill-climbing
+	// chain. The chunk partition is worker-count independent, so results
+	// are deterministic for a fixed Config.
+	RefineBatch int
 	// Priors are the per-parameter Gaussian-mutation priors, aligned
 	// with Individual.Params.
 	Priors []Prior
@@ -135,6 +145,12 @@ func (c Config) withDefaults() Config {
 	if c.EliteRefineSteps < 0 {
 		c.EliteRefineSteps = 0
 	}
+	if c.RefineBatch == 0 {
+		c.RefineBatch = 8
+	}
+	if c.RefineBatch < 1 {
+		c.RefineBatch = 1
+	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -199,13 +215,15 @@ type Engine struct {
 	quarantined atomic.Int64
 }
 
-// evalJob is one unit of work for the evaluation worker pool: evaluate the
-// individual if needed, then run the optional follow-up (local search)
-// with the job's pre-split RNG stream.
+// evalJob is one unit of work for the evaluation worker pool: either a
+// self-contained closure (run, used by batched champion refinement to score
+// a chunk of parameter proposals), or an individual to evaluate followed by
+// the optional follow-up (local search) with the job's pre-split RNG stream.
 type evalJob struct {
 	ind      *Individual
 	rng      *rand.Rand
 	followUp func(*Individual, *rand.Rand) int
+	run      func() int
 	wg       *sync.WaitGroup
 	evals    *atomic.Int64
 }
@@ -248,10 +266,17 @@ func (e *Engine) runJob(j evalJob) {
 	defer j.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
-			e.quarantine(j.ind)
+			if j.ind != nil {
+				e.quarantine(j.ind)
+			}
 			j.evals.Add(int64(n))
 		}
 	}()
+	if j.run != nil {
+		n = j.run()
+		j.evals.Add(int64(n))
+		return
+	}
 	if !j.ind.Evaluated {
 		e.safeEvaluate(j.ind)
 		n++
@@ -603,21 +628,140 @@ func (e *Engine) better(a, b *Individual) bool {
 
 // refineElite hill-climbs the constants of the generation's champion with
 // annealed Gaussian steps, adopting only improvements.
+//
+// With a BatchEvaluator and RefineBatch > 1 it runs as a batched (1+λ)
+// evolution strategy: each round draws λ proposals from the current
+// champion under the same annealing schedule (scales indexed by global
+// proposal number), scores the parameter-only proposals through
+// EvaluateParamBatch in fixed-size chunks fanned across the worker pool
+// (amortizing structure resolution and exogenous hoisting over the sweep,
+// DESIGN.md §10), evaluates structural proposals (literal perturbations)
+// individually, and adopts the best improving proposal — the lowest index
+// on ties, matching in-order sequential adoption. RefineBatch=1 or a plain
+// Evaluator reproduces the sequential hill-climbing chain.
 func (e *Engine) refineElite(ind *Individual, sigma float64) {
-	if e.cfg.EliteRefineSteps <= 0 {
+	steps := e.cfg.EliteRefineSteps
+	if steps <= 0 {
 		return
 	}
 	e.eval.BeginBatch()
-	for step := 0; step < e.cfg.EliteRefineSteps; step++ {
-		scale := sigma * (0.5 - 0.4*float64(step)/float64(e.cfg.EliteRefineSteps))
-		cand := GaussianMutation(e.rng.Rand, ind, e.cfg.Priors, scale, e.cfg.GaussPerParam)
-		e.safeEvaluate(cand) // panic isolation: +Inf candidates are rejected
-		e.evaluations++
-		if cand.Fitness < ind.Fitness {
-			*ind = *cand
+	defer e.eval.EndBatch()
+	be, batched := e.eval.(BatchEvaluator)
+	if lam := e.cfg.RefineBatch; !batched || lam <= 1 {
+		for step := 0; step < steps; step++ {
+			scale := sigma * (0.5 - 0.4*float64(step)/float64(steps))
+			cand := GaussianMutation(e.rng.Rand, ind, e.cfg.Priors, scale, e.cfg.GaussPerParam)
+			e.safeEvaluate(cand) // panic isolation: +Inf candidates are rejected
+			e.evaluations++
+			if cand.Fitness < ind.Fitness {
+				*ind = *cand
+			}
+		}
+		return
+	}
+	cands := make([]*Individual, 0, e.cfg.RefineBatch)
+	for done := 0; done < steps; done += len(cands) {
+		n := e.cfg.RefineBatch
+		if steps-done < n {
+			n = steps - done
+		}
+		cands = cands[:0]
+		for i := 0; i < n; i++ {
+			scale := sigma * (0.5 - 0.4*float64(done+i)/float64(steps))
+			cands = append(cands, GaussianMutation(e.rng.Rand, ind, e.cfg.Priors, scale, e.cfg.GaussPerParam))
+		}
+		e.evaluateProposals(be, ind, cands)
+		e.evaluations += n // one evaluation per proposal, as in the sequential chain
+		for _, cand := range cands {
+			if cand.Fitness < ind.Fitness {
+				*ind = *cand
+			}
 		}
 	}
-	e.eval.EndBatch()
+}
+
+// refineChunk is the fan-out granularity of batched champion refinement:
+// parameter-only proposals are scored through the evaluator's batch API in
+// chunks of this size, each dispatched to the worker pool as one job. The
+// size is a constant (never derived from Workers), so the work partition —
+// and therefore every evaluated fitness — is identical for any worker
+// count, preserving the Workers=1-vs-N determinism contract.
+const refineChunk = 4
+
+// evaluateProposals scores one round of refinement proposals. Proposals
+// that kept the champion's memoized structure key are parameter-only moves
+// over one structure and go through the batch API in refineChunk-sized
+// chunks; literal perturbations (cleared key) need the full per-individual
+// pipeline and are dispatched as ordinary evaluation jobs.
+func (e *Engine) evaluateProposals(be BatchEvaluator, base *Individual, cands []*Individual) {
+	var batch, solo []*Individual
+	if key := base.StructKey(); key != "" {
+		for _, c := range cands {
+			if c.StructKey() == key {
+				batch = append(batch, c)
+			} else {
+				solo = append(solo, c)
+			}
+		}
+	} else {
+		solo = cands
+	}
+	var wg sync.WaitGroup
+	var evals atomic.Int64 // refineElite counts proposals deterministically; this absorbs job accounting
+	for start := 0; start < len(batch); start += refineChunk {
+		end := start + refineChunk
+		if end > len(batch) {
+			end = len(batch)
+		}
+		chunk := batch[start:end]
+		wg.Add(1)
+		e.jobCh <- evalJob{wg: &wg, evals: &evals, run: func() int {
+			e.runParamChunk(be, base, chunk)
+			return len(chunk)
+		}}
+	}
+	for _, c := range solo {
+		wg.Add(1)
+		e.jobCh <- evalJob{ind: c, wg: &wg, evals: &evals}
+	}
+	wg.Wait()
+}
+
+// runParamChunk scores one chunk of parameter-only proposals through the
+// batch API. A panic inside the batch call (e.g. injected faults) aborts
+// the whole chunk, so the recovery path re-scores the members individually:
+// fault decisions are pure functions of the per-member site hash, so
+// safeEvaluate re-encounters the injected panic at exactly the offending
+// member and quarantines only it — batched results stay identical to
+// sequential ones even under fault injection.
+func (e *Engine) runParamChunk(be BatchEvaluator, base *Individual, chunk []*Individual) {
+	params := make([][]float64, len(chunk))
+	for i, c := range chunk {
+		params[i] = c.Params
+	}
+	results := make([]BatchResult, 0, len(chunk))
+	ok := func() (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		results = be.EvaluateParamBatch(base, params, results)
+		return true
+	}()
+	if ok && len(results) == len(chunk) {
+		for i, c := range chunk {
+			c.Fitness = results[i].Fitness
+			c.Evaluated = true
+			c.FullEval = results[i].Full
+		}
+		return
+	}
+	for _, c := range chunk {
+		if !c.Evaluated {
+			e.safeEvaluate(c)
+		}
+	}
 }
 
 // evaluatePop evaluates all unevaluated individuals on the persistent

@@ -118,6 +118,33 @@ type Evaluator interface {
 	EndBatch()
 }
 
+// BatchResult is the outcome of one member of a parameter-sweep batch
+// (see BatchEvaluator).
+type BatchResult struct {
+	// Fitness is the member's training fitness (lower is better).
+	Fitness float64
+	// Full reports whether every fitness case was simulated (false when
+	// the evaluation was short-circuited).
+	Full bool
+}
+
+// BatchEvaluator is optionally implemented by evaluators that can score
+// many parameter vectors against a single individual's structure in one
+// call, amortizing structure resolution and loop-invariant (exogenous)
+// hoisting across the whole sweep (see evalx.EvaluateParamBatch and
+// DESIGN.md §10). The engine uses it to batch champion refinement; plain
+// Evaluators fall back to sequential evaluation.
+type BatchEvaluator interface {
+	Evaluator
+	// EvaluateParamBatch scores ind's structure under each parameter
+	// vector, appending one BatchResult per vector to out and returning
+	// it. It must be equivalent to evaluating len(params) copies of ind
+	// with the respective parameter vectors (same fitness, same fault
+	// behavior), and safe for concurrent calls between BeginBatch and
+	// EndBatch. It must not mutate ind.
+	EvaluateParamBatch(ind *Individual, params [][]float64, out []BatchResult) []BatchResult
+}
+
 // Prior is the Gaussian-mutation prior of one constant parameter: its
 // expected value and exploration bounds (a Table III row), per Section
 // III-B3.

@@ -33,7 +33,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 
 	"gmr/internal/evalx"
@@ -172,6 +174,13 @@ func New(cfg Config) (*Orchestrator, error) {
 
 // parallelIslands runs fn for every island concurrently and returns the
 // first error (by island order, for determinism of error reporting).
+//
+// Each island's goroutine carries a pprof label ("island" → index), so CPU
+// and heap profiles attribute samples per island. Goroutines spawned inside
+// fn — notably the gp engine's worker pool, started under parallelIslands —
+// inherit the label, and the evaluator's eval_phase labels (see
+// evalx.SetProfileLabels) nest under it. The label costs one pprof.Do per
+// island per barrier, far off any hot path.
 func (o *Orchestrator) parallelIslands(fn func(i int) error) error {
 	errs := make([]error, len(o.engines))
 	var wg sync.WaitGroup
@@ -179,7 +188,9 @@ func (o *Orchestrator) parallelIslands(fn func(i int) error) error {
 	for i := range o.engines {
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = fn(i)
+			pprof.Do(context.Background(), pprof.Labels("island", strconv.Itoa(i)), func(context.Context) {
+				errs[i] = fn(i)
+			})
 		}(i)
 	}
 	wg.Wait()

@@ -179,8 +179,9 @@ func (d *DerivNode) Derive() (*expr.Node, error) {
 
 	// Substitution: replace each substitution site with its lexeme.
 	// Substitution happens before adjunction: sites are leaves, so
-	// replacing them never invalidates adjunction addresses.
-	sites := SubSiteAddresses(t)
+	// replacing them never invalidates adjunction addresses. The clone has
+	// the template's shape, so the template's cached site addresses apply.
+	sites := d.Elem.SubSiteAddrs()
 	if len(sites) != len(d.Lexemes) {
 		return nil, fmt.Errorf("tag: %q: %d lexemes for %d substitution sites",
 			d.Elem.Name, len(d.Lexemes), len(sites))
@@ -202,11 +203,16 @@ func (d *DerivNode) Derive() (*expr.Node, error) {
 	}
 
 	// Adjunction, deepest addresses first so shallower (ancestor)
-	// adjunctions displace already-revised subtrees.
-	children := append([]*DerivNode(nil), d.Children...)
-	sort.SliceStable(children, func(i, j int) bool {
-		return len(children[i].Addr) > len(children[j].Addr)
-	})
+	// adjunctions displace already-revised subtrees. Most nodes have at
+	// most one child; ordering (and the copy it needs) only matters from
+	// two up.
+	children := d.Children
+	if len(children) > 1 {
+		children = append([]*DerivNode(nil), d.Children...)
+		sort.SliceStable(children, func(i, j int) bool {
+			return len(children[i].Addr) > len(children[j].Addr)
+		})
+	}
 	for _, c := range children {
 		sub, err := c.Derive()
 		if err != nil {
@@ -296,19 +302,21 @@ type OpenAddress struct {
 func (d *DerivNode) OpenAddresses() []OpenAddress {
 	var out []OpenAddress
 	d.Walk(func(n, _ *DerivNode) bool {
-		occupied := map[string]bool{}
-		for _, c := range n.Children {
-			occupied[c.Addr.String()] = true
-		}
-		for _, a := range AdjAddresses(n.Elem.Root) {
-			if occupied[a.String()] {
-				continue
+		// The template's address list is cached on the elementary tree;
+		// children counts are small enough that a linear occupancy scan
+		// beats materializing a map (and its string keys) per node.
+		addrs, syms := n.Elem.AdjAddrs()
+		for i, a := range addrs {
+			occupied := false
+			for _, c := range n.Children {
+				if c.Addr.Equal(a) {
+					occupied = true
+					break
+				}
 			}
-			sym, err := SymAt(n.Elem.Root, a)
-			if err != nil {
-				continue
+			if !occupied {
+				out = append(out, OpenAddress{Node: n, Addr: a, Sym: syms[i]})
 			}
-			out = append(out, OpenAddress{Node: n, Addr: a, Sym: sym})
 		}
 		return true
 	})

@@ -14,6 +14,7 @@ package tag
 
 import (
 	"fmt"
+	"sync"
 
 	"gmr/internal/expr"
 )
@@ -48,6 +49,47 @@ type ElemTree struct {
 	// node carries the same symbol.
 	RootSym string
 	Root    *expr.Node
+
+	// siteAddrs caches SubSiteAddresses(Root). Derivation consults the
+	// substitution sites of every node on every Derive call (the evaluator
+	// cold path); since the template is immutable the addresses never
+	// change.
+	siteAddrsOnce sync.Once
+	siteAddrs     []Address
+
+	// adjAddrs/adjSyms cache AdjAddresses(Root) and the symbol at each
+	// address. OpenAddresses consults them for every derivation node when
+	// enumerating legal variation points.
+	adjOnce  sync.Once
+	adjAddrs []Address
+	adjSyms  []string
+}
+
+// AdjAddrs returns the template's adjunction addresses in pre-order along
+// with the symbol labeling each address, computed once and cached. The
+// returned slices are shared — callers must not mutate them.
+func (t *ElemTree) AdjAddrs() ([]Address, []string) {
+	t.adjOnce.Do(func() {
+		t.adjAddrs = AdjAddresses(t.Root)
+		t.adjSyms = make([]string, len(t.adjAddrs))
+		for i, a := range t.adjAddrs {
+			// The addresses were just derived from Root, so SymAt cannot
+			// fail.
+			t.adjSyms[i], _ = SymAt(t.Root, a)
+		}
+	})
+	return t.adjAddrs, t.adjSyms
+}
+
+// SubSiteAddrs returns the addresses of the template's substitution sites
+// in pre-order (the order matching SubSiteSyms), computed once and cached.
+// The returned slice and its addresses are shared — callers must not
+// mutate them.
+func (t *ElemTree) SubSiteAddrs() []Address {
+	t.siteAddrsOnce.Do(func() {
+		t.siteAddrs = SubSiteAddresses(t.Root)
+	})
+	return t.siteAddrs
 }
 
 // Validate checks the elementary-tree invariants: the root carries RootSym;
