@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz chaos bench bencheval bench-diff check clean
+.PHONY: all build vet test race fuzz chaos bench bench-smoke bencheval bench-diff check clean
 
 all: check
 
@@ -29,6 +29,7 @@ race:
 fuzz:
 	$(GO) test -fuzz FuzzExprParseRoundTrip -fuzztime $(FUZZTIME) ./internal/expr/
 	$(GO) test -fuzz FuzzRegisterVMVsTreeEval -fuzztime $(FUZZTIME) ./internal/expr/
+	$(GO) test -fuzz FuzzLaneKernelVsScalar -fuzztime $(FUZZTIME) ./internal/bio/
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/gp/
 
 # chaos runs the fault-injection suite (injected panics, NaN poison,
@@ -42,6 +43,12 @@ chaos:
 # bench runs the hot-path microbenchmarks with allocation reporting.
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/expr/ ./internal/bio/ ./internal/evalx/
+
+# bench-smoke compiles and runs every benchmark exactly once (-benchtime=1x):
+# a fast CI guard that benchmark code still builds and executes, without
+# measuring anything.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/expr/ ./internal/bio/ ./internal/evalx/
 
 # bencheval snapshots evaluator cold / tier-1 / param-batch / tier-2
 # numbers and cache hit rates into BENCH_EVAL.json (the README performance

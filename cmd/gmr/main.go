@@ -8,8 +8,9 @@
 //
 // Without -data, a synthetic Nakdong dataset is generated (seed 7). The
 // output reports train/test accuracy, the revised differential equations,
-// and the Figure 9 variable-selectivity analysis over the run's best
-// models.
+// evaluator utilization (cache hits, short circuits, lane-batched kernel
+// fill), and the Figure 9 variable-selectivity analysis over the run's
+// best models.
 //
 // With -islands N, the -runs sequential restarts are replaced by N
 // cooperating islands that exchange elites on a ring every -migrate-every

@@ -9,8 +9,10 @@ import (
 	"testing"
 
 	"gmr/internal/bio"
+	"gmr/internal/calib"
 	"gmr/internal/dataset"
 	"gmr/internal/evalx"
+	"gmr/internal/expr"
 	"gmr/internal/gp"
 	"gmr/internal/grammar"
 )
@@ -102,8 +104,8 @@ func runBenchEval(ds *dataset.Dataset, outPath, baselinePath string) error {
 		})
 		ent := &snap.Entries[len(snap.Entries)-1]
 		ent.Cache = benchEvalCachePass(ds)
-		fmt.Printf("  mixed workload: %d evals, tier-1 hit rate %.2f, tier-2 hit rate %.2f, %d compiles, %d exog plans\n",
-			ent.Cache.Evaluations, ent.Cache.Tier1HitRate, ent.Cache.Tier2HitRate, ent.Cache.Compiles, ent.Cache.ExogPlanBuilds)
+		fmt.Printf("  mixed workload: %d evals, tier-1 hit rate %.2f, tier-2 hit rate %.2f, %d compiles, %d exog plans, %d short circuits\n",
+			ent.Cache.Evaluations, ent.Cache.Tier1HitRate, ent.Cache.Tier2HitRate, ent.Cache.Compiles, ent.Cache.ExogPlanBuilds, ent.Cache.ShortCircuits)
 	}
 	runtime.GOMAXPROCS(prev)
 
@@ -230,6 +232,59 @@ func benchEvalPass(ds *dataset.Dataset) []benchEvalResult {
 		}
 	}))
 
+	// Lane-width batch: same path as evaluate_param_batch but with exactly
+	// expr.Lanes members per call, so every call is one full-width dispatch
+	// through the lane kernel — the per-candidate floor of the SoA path.
+	record("evaluate_param_batch_lanes", testing.Benchmark(func(b *testing.B) {
+		inds := newInds(1, 13)
+		ev := newEval(true)
+		ev.BeginBatch()
+		defer ev.EndBatch()
+		base := inds[0]
+		lam := expr.Lanes
+		paramSets := make([][]float64, lam)
+		for i := range paramSets {
+			paramSets[i] = append([]float64(nil), base.Params...)
+		}
+		out := make([]gp.BatchResult, 0, lam)
+		ev.EvaluateParamBatch(base, paramSets, out) // warm: derive, compile, plan
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += lam {
+			for j := range paramSets {
+				paramSets[j][0] = 0.1 + float64(i+j)*1e-9
+			}
+			ev.EvaluateParamBatch(base, paramSets, out[:0])
+		}
+	}))
+
+	// Calibration population: RiverBatchObjective scoring a GA-sized cohort
+	// (24 vectors) through the lane kernel, amortized per vector — what one
+	// candidate costs the batched Table V calibration layer.
+	record("calib_batch_population", testing.Benchmark(func(b *testing.B) {
+		batchObj, err := calib.RiverBatchObjective(forcing, obs, simCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := calib.Box(consts)
+		rng := rand.New(rand.NewSource(17))
+		const pop = 24
+		paramSets := make([][]float64, pop)
+		for i := range paramSets {
+			paramSets[i] = make([]float64, len(lo))
+			for j := range paramSets[i] {
+				paramSets[i][j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+			}
+		}
+		scores := make([]float64, 0, pop)
+		scores = batchObj(paramSets, scores[:0]) // warm buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += pop {
+			scores = batchObj(paramSets, scores[:0])
+		}
+	}))
+
 	// Tier-2 hit: identical (structure, params) — pure cache lookup.
 	record("evaluate_tier2_hit", testing.Benchmark(func(b *testing.B) {
 		inds := newInds(1, 12)
@@ -297,6 +352,10 @@ func benchEvalPass(ds *dataset.Dataset) []benchEvalResult {
 // benchEvalCachePass runs the mixed GP-like workload for cache hit rates: a
 // population of structures re-evaluated across rounds, parameters jittered
 // in half of the evaluations (tier-2 misses that stay tier-1 hits).
+// Short-circuiting is on and each round is its own batch — the reference
+// fitness commits at every EndBatch, exactly like a generation barrier, so
+// the snapshot exercises (and the README reports) live short-circuit
+// counts instead of a dormant zero.
 func benchEvalCachePass(ds *dataset.Dataset) evalx.Snapshot {
 	forcing, obs := ds.TrainForcing(), ds.TrainObsPhy()
 	consts := bio.DefaultConstants()
@@ -316,11 +375,11 @@ func benchEvalCachePass(ds *dataset.Dataset) evalx.Snapshot {
 		inds[i] = gp.NewIndividual(d, means)
 	}
 	ev := evalx.New(forcing, obs, consts, evalx.Options{
-		UseCache: true, UseCompile: true, Simplify: true, Sim: simCfg,
+		UseCache: true, UseShortCircuit: true, UseCompile: true, Simplify: true, Sim: simCfg,
 	})
 	jrng := rand.New(rand.NewSource(5))
-	ev.BeginBatch()
 	for round := 0; round < 4; round++ {
+		ev.BeginBatch()
 		for _, ind := range inds {
 			c := ind.Clone()
 			if round > 0 && jrng.Float64() < 0.5 {
@@ -329,6 +388,20 @@ func benchEvalCachePass(ds *dataset.Dataset) evalx.Snapshot {
 			c.Invalidate()
 			ev.Evaluate(c)
 		}
+		ev.EndBatch()
+	}
+	// A refinement-style parameter sweep over the round-winners drives the
+	// lane-batched kernel, so the snapshot's lane utilization counters
+	// (lane_batches, lanes_filled, lane_short_circuits) are live too.
+	ev.BeginBatch()
+	for _, ind := range inds[:8] {
+		paramSets := make([][]float64, expr.Lanes)
+		for i := range paramSets {
+			paramSets[i] = append([]float64(nil), ind.Params...)
+			paramSets[i][jrng.Intn(len(ind.Params))] *= 1 + jrng.Float64()*1e-3
+		}
+		out := make([]gp.BatchResult, 0, expr.Lanes)
+		ev.EvaluateParamBatch(ind, paramSets, out)
 	}
 	ev.EndBatch()
 	return ev.Snapshot()

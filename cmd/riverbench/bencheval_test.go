@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"gmr/internal/dataset"
 	"gmr/internal/evalx"
 )
 
@@ -88,6 +89,29 @@ func TestCompareBenchBaselineLegacyFile(t *testing.T) {
 	cur := snap(1, benchEvalResult{Name: "evaluate_cold", NsPerOp: 980, AllocsPerOp: 267})
 	if err := compareBenchBaseline(cur, base); err != nil {
 		t.Fatalf("legacy baseline comparison failed: %v", err)
+	}
+}
+
+// TestBenchEvalCachePassExercisesShortCircuits guards against the
+// short-circuit path going dormant in the snapshot workload: with
+// per-round batch boundaries the reference fitness commits at every
+// EndBatch, so later rounds must actually stop hopeless candidates early
+// (BENCH_EVAL.json reports a live short_circuits count, not a stale zero).
+func TestBenchEvalCachePassExercisesShortCircuits(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 3, StartYear: 2000, EndYear: 2002, TrainEndYear: 2001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := benchEvalCachePass(ds)
+	if cache.Evaluations == 0 {
+		t.Fatal("cache pass evaluated nothing")
+	}
+	if cache.ShortCircuits == 0 {
+		t.Error("cache pass produced zero short circuits; the snapshot's short-circuit telemetry is dormant")
+	}
+	if cache.StepsEvaluated >= cache.StepsPossible {
+		t.Errorf("short circuiting saved no steps: %d evaluated of %d possible",
+			cache.StepsEvaluated, cache.StepsPossible)
 	}
 }
 

@@ -1,0 +1,145 @@
+package bio
+
+import (
+	"gmr/internal/expr"
+)
+
+// This file implements the lane-batched simulation path (DESIGN.md §11): up
+// to expr.Lanes parameter vectors integrate through one SegSystem
+// simultaneously, with every STEP instruction dispatched once across all
+// lanes instead of once per candidate. The forcing series — and therefore
+// the hoisted exogenous plan — is shared; only parameters and state differ
+// per lane.
+//
+// Per-lane semantics match the scalar Kernel bit for bit: the same Euler
+// updates, the same clamps, the same non-finite aborts, the same per-day
+// hook protocol. A lane that aborts (non-finite state) or is stopped by its
+// hook drops out via swap-with-last compaction — the last active lane's
+// register column, state, and member identity move into the freed slot —
+// so the remaining work shrinks as candidates die. When every lane is dead
+// the kernel returns early; this is how short-circuit early abandon saves
+// work inside a batch.
+
+// LaneHook observes one member of a lane batch, with the same protocol as
+// the scalar Kernel's perStep hook applied per member: after each
+// integrated day it receives (member, t, bphy) and returns false to stop
+// that member early; on a non-finite abort it is called one final time
+// with the offending value (and the member stops regardless of the return
+// value). member is the index into the params slice passed to
+// PrologueLanes, stable across lane compaction.
+type LaneHook func(member, t int, bphy float64) bool
+
+// PrologueLanes sizes the lane-major scratch buffers and runs the
+// per-candidate PARAM segment for each of the n = len(params) candidates,
+// one per lane. 1 ≤ n ≤ expr.Lanes is required; tail lanes of a short
+// batch are padded by repeating params[0] (they compute real, finite
+// values and are never reported). It must be called once per batch before
+// KernelLanes with the same scratch.
+func (s *SegSystem) PrologueLanes(params [][]float64, sc *SimScratch) {
+	sc.regsLanes = growBuf(sc.regsLanes, s.Prog.LaneRegs())
+	for l := 0; l < expr.Lanes; l++ {
+		if l < len(params) {
+			sc.paramLanes[l] = params[l]
+		} else {
+			sc.paramLanes[l] = params[0]
+		}
+	}
+	s.Prog.EvalParamLanes(&sc.paramLanes, sc.regsLanes)
+}
+
+// KernelLanes integrates n candidates over the plan's days in lockstep.
+// PrologueLanes must have run first with the same scratch and n parameter
+// vectors. Predictions are delivered through hook (which must be non-nil):
+// for each live member, per day, hook(member, t, bphy) — exactly the
+// values the scalar Kernel would append to preds and pass to perStep for
+// that member's parameters. Steady-state calls with a reused SimScratch
+// are allocation-free.
+func (s *SegSystem) KernelLanes(plan *ExogPlan, cfg SimConfig, sc *SimScratch, n int, hook LaneHook) {
+	cfg = cfg.withDefaults()
+	const L = expr.Lanes
+	if n > L {
+		n = L
+	}
+	sc.varsLanes = growBuf(sc.varsLanes, NumVars*L)
+	vars, regs := sc.varsLanes, sc.regsLanes
+	prog, k := s.Prog, plan.k
+	h := 1.0 / float64(cfg.SubSteps)
+
+	var bphy, bzoo [L]float64
+	var member [L]int
+	for l := 0; l < n; l++ {
+		bphy[l], bzoo[l] = cfg.Phy0, cfg.Zoo0
+		member[l] = l
+	}
+	active := n
+	phyLane := vars[IdxBPhy*L : IdxBPhy*L+L]
+	zooLane := vars[IdxBZoo*L : IdxBZoo*L+L]
+	// drop compacts lane l out of the active set: the last active lane's
+	// register column, state, and member identity move into slot l. All
+	// arithmetic is elementwise, so the moved lane's trajectory is
+	// unperturbed; the freed tail slot keeps computing stale values that
+	// are never read.
+	drop := func(l int) {
+		active--
+		if l != active {
+			prog.CopyLane(l, active, regs)
+			bphy[l], bzoo[l] = bphy[active], bzoo[active]
+			member[l] = member[active]
+		}
+	}
+	for t := 0; t < plan.days; t++ {
+		if k > 0 {
+			prog.LoadExogRowLanes(plan.mat[t*k:t*k+k], regs)
+		}
+		prog.EvalDayLanes(regs)
+		for step := 0; step < cfg.SubSteps; step++ {
+			copy(phyLane, bphy[:])
+			copy(zooLane, bzoo[:])
+			prog.EvalStepLanes(vars, regs)
+			for l := 0; l < active; l++ {
+				bphy[l] += h * prog.RootLane(0, l, regs)
+				bzoo[l] += h * prog.RootLane(1, l, regs)
+				if bad, abort := nonFinite(bphy[l], bzoo[l]); abort {
+					hook(member[l], t, bad)
+					drop(l)
+					l-- // the swapped-in lane still needs this substep
+					continue
+				}
+				bphy[l] = clamp(bphy[l], cfg.ClampMin, cfg.ClampMax)
+				bzoo[l] = clamp(bzoo[l], cfg.ClampMin, cfg.ClampMax)
+			}
+			if active == 0 {
+				return
+			}
+		}
+		for l := 0; l < active; l++ {
+			if !hook(member[l], t, bphy[l]) {
+				drop(l)
+				l--
+			}
+		}
+		if active == 0 {
+			return
+		}
+	}
+}
+
+// RunLanes is the convenience lane entry point: it builds a throwaway
+// exogenous plan, runs the lane prologue, and invokes the lane kernel over
+// all candidates, chunking params into expr.Lanes-wide batches. Hot paths
+// cache the plan and call PrologueLanes+KernelLanes directly instead.
+func (s *SegSystem) RunLanes(forcing [][]float64, params [][]float64, cfg SimConfig, sc *SimScratch, hook LaneHook) {
+	plan := s.BuildExogPlan(forcing)
+	for base := 0; base < len(params); base += expr.Lanes {
+		end := base + expr.Lanes
+		if end > len(params) {
+			end = len(params)
+		}
+		chunk := params[base:end]
+		s.PrologueLanes(chunk, sc)
+		off := base
+		s.KernelLanes(plan, cfg, sc, len(chunk), func(m, t int, bphy float64) bool {
+			return hook(off+m, t, bphy)
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package bio
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmr/internal/expr"
+)
+
+// Differential tests for the lane-batched kernel: KernelLanes must deliver,
+// per member, exactly the hook sequence the scalar Kernel produces for that
+// member's parameter vector — same days, same bitwise biomasses, same
+// non-finite abort values, same early stops — regardless of how many lanes
+// run together or in what order other lanes die.
+
+func randBoxParams(rng *rand.Rand, consts []Constant) []float64 {
+	params := make([]float64, len(consts))
+	for i, c := range consts {
+		params[i] = c.Min + rng.Float64()*(c.Max-c.Min)
+	}
+	return params
+}
+
+// TestKernelLanesMatchesScalarKernel runs every segment-test system shape
+// with 1..Lanes members per batch, mixed per-member early stops, and
+// configs spanning clamping modes; each member's lane trace must equal its
+// scalar trace bitwise.
+func TestKernelLanesMatchesScalarKernel(t *testing.T) {
+	consts := DefaultConstants()
+	paramIdx := ParamIndex(consts)
+	rng := rand.New(rand.NewSource(7))
+	cfgs := []SimConfig{
+		{SubSteps: 1, Phy0: 2, Zoo0: 1},
+		{SubSteps: 4, Phy0: 0.5, Zoo0: 1.5},
+		{SubSteps: 2, Phy0: 3, Zoo0: 0.1, ClampDisabled: true},
+		{SubSteps: 3, Phy0: 1, Zoo0: 1, ClampMin: -1, ClampMax: 50},
+	}
+	for si, pair := range segTestSystems(t, paramIdx) {
+		seg, err := NewSegSystem(pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("system %d: NewSegSystem: %v", si, err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			forcing := randForcing(rng, 30+rng.Intn(40))
+			plan := seg.BuildExogPlan(forcing)
+			cfg := cfgs[trial%len(cfgs)]
+			n := 1 + rng.Intn(expr.Lanes)
+			params := make([][]float64, n)
+			stopAt := make([]int, n)
+			for m := range params {
+				params[m] = randBoxParams(rng, consts)
+				stopAt[m] = -1
+				if rng.Intn(3) == 0 {
+					stopAt[m] = rng.Intn(len(forcing))
+				}
+			}
+
+			// Scalar reference: one Kernel run per member.
+			want := make([]stepTrace, n)
+			var sc SimScratch
+			for m := range params {
+				seg.Prologue(params[m], &sc)
+				seg.Kernel(plan, cfg, &sc, want[m].hook(stopAt[m]))
+			}
+
+			// Lane run: all members in one batch.
+			got := make([]stepTrace, n)
+			var scLanes SimScratch
+			seg.PrologueLanes(params, &scLanes)
+			seg.KernelLanes(plan, cfg, &scLanes, n, func(m, day int, bphy float64) bool {
+				return got[m].hook(stopAt[m])(day, bphy)
+			})
+
+			for m := range params {
+				if !sameTrace(&want[m], &got[m]) {
+					t.Fatalf("system %d trial %d member %d/%d: lane trace diverges from scalar\nscalar days %v\nlane   days %v",
+						si, trial, m, n, want[m].ts, got[m].ts)
+				}
+			}
+		}
+	}
+}
+
+// TestRunLanesChunksWideBatches checks the convenience entry point against
+// scalar runs for batches wider than the lane count (forcing chunking and
+// member-index offsetting).
+func TestRunLanesChunksWideBatches(t *testing.T) {
+	consts := DefaultConstants()
+	paramIdx := ParamIndex(consts)
+	pair := segTestSystems(t, paramIdx)[0]
+	seg, err := NewSegSystem(pair[0], pair[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	forcing := randForcing(rng, 50)
+	cfg := SimConfig{SubSteps: 4, Phy0: 1, Zoo0: 0.5}
+	const n = 2*expr.Lanes + 3
+	params := make([][]float64, n)
+	for m := range params {
+		params[m] = randBoxParams(rng, consts)
+	}
+
+	want := make([]stepTrace, n)
+	var sc SimScratch
+	plan := seg.BuildExogPlan(forcing)
+	for m := range params {
+		seg.Prologue(params[m], &sc)
+		seg.Kernel(plan, cfg, &sc, want[m].hook(-1))
+	}
+
+	got := make([]stepTrace, n)
+	var scLanes SimScratch
+	seg.RunLanes(forcing, params, cfg, &scLanes, func(m, day int, bphy float64) bool {
+		return got[m].hook(-1)(day, bphy)
+	})
+	for m := range params {
+		if !sameTrace(&want[m], &got[m]) {
+			t.Fatalf("member %d: RunLanes trace diverges from scalar", m)
+		}
+	}
+}
+
+// TestKernelLanesCompactionStress forces heavy mid-flight lane death: the
+// hostile blow-up system plus aggressive per-member early stops, so lanes
+// drop in many different orders. Every surviving member must still match
+// its scalar trace.
+func TestKernelLanesCompactionStress(t *testing.T) {
+	consts := DefaultConstants()
+	paramIdx := ParamIndex(consts)
+	pairs := segTestSystems(t, paramIdx)
+	hostile := pairs[len(pairs)-1]
+	seg, err := NewSegSystem(hostile[0], hostile[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		forcing := randForcing(rng, 20)
+		plan := seg.BuildExogPlan(forcing)
+		cfg := SimConfig{SubSteps: 2, Phy0: 0.1 + rng.Float64()*3, Zoo0: rng.Float64(), ClampDisabled: trial%2 == 0}
+		n := expr.Lanes
+		params := make([][]float64, n)
+		stopAt := make([]int, n)
+		for m := range params {
+			params[m] = randBoxParams(rng, consts)
+			stopAt[m] = rng.Intn(len(forcing)) // every member stops early somewhere
+		}
+
+		want := make([]stepTrace, n)
+		var sc SimScratch
+		for m := range params {
+			seg.Prologue(params[m], &sc)
+			seg.Kernel(plan, cfg, &sc, want[m].hook(stopAt[m]))
+		}
+
+		got := make([]stepTrace, n)
+		var scLanes SimScratch
+		seg.PrologueLanes(params, &scLanes)
+		seg.KernelLanes(plan, cfg, &scLanes, n, func(m, day int, bphy float64) bool {
+			return got[m].hook(stopAt[m])(day, bphy)
+		})
+		for m := range params {
+			if !sameTrace(&want[m], &got[m]) {
+				t.Fatalf("trial %d member %d: compacted lane trace diverges\nscalar days %v\nlane   days %v",
+					trial, m, want[m].ts, got[m].ts)
+			}
+		}
+	}
+}
+
+// TestKernelLanesAllocFree: steady-state lane batches with a reused scratch
+// must not allocate.
+func TestKernelLanesAllocFree(t *testing.T) {
+	consts := DefaultConstants()
+	paramIdx := ParamIndex(consts)
+	pair := segTestSystems(t, paramIdx)[0]
+	seg, err := NewSegSystem(pair[0], pair[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	forcing := randForcing(rng, 60)
+	plan := seg.BuildExogPlan(forcing)
+	cfg := SimConfig{SubSteps: 4, Phy0: 1, Zoo0: 0.5}
+	params := make([][]float64, expr.Lanes)
+	for m := range params {
+		params[m] = randBoxParams(rng, consts)
+	}
+	var sc SimScratch
+	hook := func(m, day int, bphy float64) bool { return true }
+	// Warm the scratch buffers once.
+	seg.PrologueLanes(params, &sc)
+	seg.KernelLanes(plan, cfg, &sc, len(params), hook)
+	allocs := testing.AllocsPerRun(10, func() {
+		seg.PrologueLanes(params, &sc)
+		seg.KernelLanes(plan, cfg, &sc, len(params), hook)
+	})
+	if allocs != 0 {
+		t.Fatalf("lane batch allocates %.1f times per run; want 0", allocs)
+	}
+}

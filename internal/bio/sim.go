@@ -121,6 +121,13 @@ type SimScratch struct {
 	zooStack []float64
 	preds    []float64
 	regs     []float64 // register file for the segmented VM (see seg.go)
+
+	// Lane-batched path (see lanes.go): the lane-major register file and
+	// state vector, plus the per-lane parameter-vector table reused by
+	// PrologueLanes so steady-state lane batches allocate nothing.
+	regsLanes  []float64
+	varsLanes  []float64
+	paramLanes [expr.Lanes][]float64
 }
 
 func growBuf(b []float64, n int) []float64 {

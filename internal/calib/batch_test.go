@@ -1,0 +1,211 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gmr/internal/bio"
+	"gmr/internal/dataset"
+	"gmr/internal/expr"
+)
+
+// batchCalibrators returns the population methods that score whole cohorts
+// per objective call.
+func batchCalibrators() []BatchCalibrator {
+	return []BatchCalibrator{NewGA(), NewSCEUA(), NewDREAM()}
+}
+
+// recordingBatch wraps a scalar objective as a BatchObjective that records
+// the width of every batch call, for asserting that population calibrators
+// actually batch their cohorts instead of degenerating to width-1 calls.
+type recordingBatch struct {
+	calls  int
+	widths []int
+	total  int
+}
+
+func (r *recordingBatch) wrap(obj Objective) BatchObjective {
+	return func(params [][]float64, out []float64) []float64 {
+		r.calls++
+		r.widths = append(r.widths, len(params))
+		r.total += len(params)
+		for _, x := range params {
+			out = append(out, obj(x))
+		}
+		return out
+	}
+}
+
+func (r *recordingBatch) maxWidth() int {
+	w := 0
+	for _, v := range r.widths {
+		if v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+// nanFaulted poisons a region of the search space with NaN, the way a
+// quarantined simulation scores: calibrators must keep identical batched
+// and scalar trajectories even when some cohort members come back NaN.
+func nanFaulted(obj Objective) Objective {
+	return func(x []float64) float64 {
+		if math.Mod(math.Abs(x[0]*1e3), 7) < 1.5 {
+			return math.NaN()
+		}
+		return obj(x)
+	}
+}
+
+// TestBatchMatchesScalarTrajectory is the core batching property: for every
+// BatchCalibrator, Calibrate over a scalar objective and CalibrateBatch over
+// the equivalent batch objective must follow the exact same trajectory —
+// same RNG stream, bitwise-identical best point and fitness — including
+// when the objective injects NaN faults.
+func TestBatchMatchesScalarTrajectory(t *testing.T) {
+	lo, hi := box(4, -2, 2)
+	objs := map[string]Objective{
+		"sphere":     sphere([]float64{0.5, -1.2, 1.7, 0.0}),
+		"nan-fault":  nanFaulted(sphere([]float64{0.5, -1.2, 1.7, 0.0})),
+		"rosenbrock": func(x []float64) float64 { return rosenbrock2(x[:2]) },
+	}
+	for _, c := range batchCalibrators() {
+		for name, obj := range objs {
+			t.Run(c.Name()+"/"+name, func(t *testing.T) {
+				xScalar, fScalar := c.Calibrate(obj, lo, hi, 900, rand.New(rand.NewSource(13)))
+				rec := &recordingBatch{}
+				xBatch, fBatch := c.CalibrateBatch(rec.wrap(obj), lo, hi, 900, rand.New(rand.NewSource(13)))
+				if math.Float64bits(fScalar) != math.Float64bits(fBatch) {
+					t.Fatalf("fitness diverged: scalar %v, batch %v", fScalar, fBatch)
+				}
+				if len(xScalar) != len(xBatch) {
+					t.Fatalf("dimension diverged: %d vs %d", len(xScalar), len(xBatch))
+				}
+				for i := range xScalar {
+					if math.Float64bits(xScalar[i]) != math.Float64bits(xBatch[i]) {
+						t.Fatalf("coordinate %d diverged: scalar %v, batch %v", i, xScalar[i], xBatch[i])
+					}
+				}
+				if rec.maxWidth() < 2 {
+					t.Errorf("batch objective never saw a cohort: widths %v", rec.widths)
+				}
+				if rec.total > 900+60 {
+					t.Errorf("batch path scored %d vectors for a budget of 900", rec.total)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchBudgetExact verifies the batch entry point's budget accounting:
+// total vectors scored equals what the scalar path would consume, and no
+// phase overruns the budget by more than a warm-up cohort.
+func TestBatchBudgetExact(t *testing.T) {
+	lo, hi := box(3, 0, 1)
+	obj := sphere([]float64{0.5, 0.5, 0.5})
+	for _, c := range batchCalibrators() {
+		scalarCount := 0
+		counted := func(x []float64) float64 {
+			scalarCount++
+			return obj(x)
+		}
+		c.Calibrate(counted, lo, hi, 500, rand.New(rand.NewSource(9)))
+		rec := &recordingBatch{}
+		c.CalibrateBatch(rec.wrap(obj), lo, hi, 500, rand.New(rand.NewSource(9)))
+		if rec.total != scalarCount {
+			t.Errorf("%s: batch scored %d vectors, scalar path %d", c.Name(), rec.total, scalarCount)
+		}
+	}
+}
+
+// TestScalarBatchAppends pins the BatchObjective contract: scores are
+// appended to out, preserving anything already there.
+func TestScalarBatchAppends(t *testing.T) {
+	b := ScalarBatch(func(x []float64) float64 { return x[0] })
+	out := []float64{-1}
+	out = b([][]float64{{2}, {3}}, out)
+	if len(out) != 3 || out[0] != -1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("ScalarBatch append contract violated: %v", out)
+	}
+}
+
+// TestRiverBatchObjectiveMatchesScalar checks the lane-batched river
+// objective bit for bit against the compiled scalar objective, across
+// random in-box vectors and hostile out-of-distribution corners that abort
+// the integration.
+func TestRiverBatchObjectiveMatchesScalar(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 5, StartYear: 2000, EndYear: 2002, TrainEndYear: 2001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := bio.DefaultConstants()
+	lo, hi := Box(consts)
+	sim := bio.SimConfig{SubSteps: 2, Phy0: ds.ObsPhy[0], Zoo0: ds.ObsZoo[0]}
+	scalar, err := RiverObjective(ds.TrainForcing(), ds.TrainObsPhy(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := RiverBatchObjective(ds.TrainForcing(), ds.TrainObsPhy(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	var params [][]float64
+	for i := 0; i < 2*expr.Lanes+3; i++ { // odd width: full lanes + ragged tail
+		params = append(params, uniformBox(rng, lo, hi))
+	}
+	params = append(params, lo, hi) // box corners stress the integrator
+	out := batch(params, nil)
+	if len(out) != len(params) {
+		t.Fatalf("batch returned %d scores for %d vectors", len(out), len(params))
+	}
+	for i, x := range params {
+		want := scalar(x)
+		if math.Float64bits(want) != math.Float64bits(out[i]) {
+			t.Errorf("vector %d: scalar %v, batch %v", i, want, out[i])
+		}
+	}
+	// Second call with a reused out slice must keep appending correctly.
+	again := batch(params[:3], out[:0])
+	for i := 0; i < 3; i++ {
+		if math.Float64bits(again[i]) != math.Float64bits(out[i]) && !math.IsNaN(again[i]) {
+			t.Errorf("reused-buffer call diverged at %d", i)
+		}
+	}
+}
+
+// TestRiverBatchCalibrationEndToEnd runs a real calibrator over the
+// lane-batched objective and checks the result matches the scalar-objective
+// run exactly — the Table V pipeline can switch to batch scoring without
+// changing any reported number.
+func TestRiverBatchCalibrationEndToEnd(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 5, StartYear: 2000, EndYear: 2002, TrainEndYear: 2001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := bio.DefaultConstants()
+	lo, hi := Box(consts)
+	sim := bio.SimConfig{SubSteps: 2, Phy0: ds.ObsPhy[0], Zoo0: ds.ObsZoo[0]}
+	scalar, err := RiverObjective(ds.TrainForcing(), ds.TrainObsPhy(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := RiverBatchObjective(ds.TrainForcing(), ds.TrainObsPhy(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range batchCalibrators() {
+		xs, fs := c.Calibrate(scalar, lo, hi, 400, rand.New(rand.NewSource(2)))
+		xb, fb := c.CalibrateBatch(batch, lo, hi, 400, rand.New(rand.NewSource(2)))
+		if math.Float64bits(fs) != math.Float64bits(fb) {
+			t.Errorf("%s: scalar objective found %v, lane-batched %v", c.Name(), fs, fb)
+		}
+		for i := range xs {
+			if math.Float64bits(xs[i]) != math.Float64bits(xb[i]) {
+				t.Errorf("%s: parameter %d diverged: %v vs %v", c.Name(), i, xs[i], xb[i])
+			}
+		}
+	}
+}

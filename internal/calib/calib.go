@@ -17,6 +17,29 @@ import (
 // training RMSE, matching the paper's fitness function).
 type Objective func(params []float64) float64
 
+// BatchObjective scores many parameter vectors in one call, appending one
+// value per vector to out (reusing its capacity) and returning it. Each
+// scored vector counts as one objective evaluation against a calibrator's
+// budget. Batch-capable objectives (RiverBatchObjective, the lane-batched
+// evaluator behind it) amortize compiled-structure resolution and
+// instruction dispatch across the whole batch; out[i] must equal what the
+// scalar objective would return for params[i].
+type BatchObjective func(params [][]float64, out []float64) []float64
+
+// ScalarBatch adapts a scalar Objective to the batch signature (one
+// sequential call per vector). Population calibrators run identically —
+// same RNG stream, same trajectory, same result — under a scalar objective
+// and its ScalarBatch adapter, because their batched phases are the
+// canonical implementation (Calibrate delegates to CalibrateBatch).
+func ScalarBatch(obj Objective) BatchObjective {
+	return func(params [][]float64, out []float64) []float64 {
+		for _, x := range params {
+			out = append(out, obj(x))
+		}
+		return out
+	}
+}
+
 // Calibrator optimizes an objective over a box with an evaluation budget.
 type Calibrator interface {
 	// Name is the method's display name (Table V row label).
@@ -24,6 +47,21 @@ type Calibrator interface {
 	// Calibrate returns the best parameters found and their objective
 	// value, using at most budget objective evaluations.
 	Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64)
+}
+
+// BatchCalibrator is implemented by population calibrators (GA, SCE-UA,
+// DREAM) whose evaluations arrive in natural cohorts — generations,
+// complex sweeps, chain sweeps — and can therefore score whole populations
+// per objective call. CalibrateBatch is the canonical implementation;
+// Calibrate wraps the objective with ScalarBatch and delegates, so the two
+// entry points follow identical trajectories by construction. Sequential
+// methods (Nelder–Mead's probe chain, MCMC's single chain) have no cohort
+// structure and stay scalar.
+type BatchCalibrator interface {
+	Calibrator
+	// CalibrateBatch is Calibrate over a batch objective: same contract,
+	// same budget accounting (one unit per scored vector).
+	CalibrateBatch(obj BatchObjective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64)
 }
 
 // All returns the nine calibrators of the paper in Table V order:

@@ -22,8 +22,21 @@ func NewDREAM() *DREAM { return &DREAM{} }
 // Name implements Calibrator.
 func (*DREAM) Name() string { return "DREAM" }
 
-// Calibrate implements Calibrator.
+// Calibrate implements Calibrator by delegating to CalibrateBatch over a
+// scalar adapter; both entry points follow the same trajectory.
 func (dr *DREAM) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64) {
+	return dr.CalibrateBatch(ScalarBatch(obj), lo, hi, budget, rng)
+}
+
+// CalibrateBatch implements BatchCalibrator. Each sweep snapshots the chain
+// states, generates every chain's proposal against that snapshot (consuming
+// randomness in chain order), scores the whole sweep in one batch call, and
+// then applies the Metropolis acceptances in chain order — the acceptance
+// draw happens only when the greedy test fails, preserving the scalar
+// short-circuit. Proposals read the start-of-sweep snapshot rather than
+// mid-sweep updates, which is what makes a sweep batchable and keeps the
+// sampler deterministic for a given RNG stream.
+func (dr *DREAM) CalibrateBatch(obj BatchObjective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64) {
 	d := len(lo)
 	n := dr.Chains
 	if n == 0 {
@@ -37,11 +50,15 @@ func (dr *DREAM) Calibrate(obj Objective, lo, hi []float64, budget int, rng *ran
 		cr = 0.9
 	}
 	evals := 0
+	xs := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, uniformBox(rng, lo, hi))
+	}
+	fs := obj(xs, nil)
+	evals += n
 	chains := make([]scored, n)
 	for i := range chains {
-		x := uniformBox(rng, lo, hi)
-		chains[i] = scored{x, obj(x)}
-		evals++
+		chains[i] = scored{xs[i], fs[i]}
 	}
 	best, bestF := cloneVec(chains[0].x), chains[0].f
 	for _, c := range chains {
@@ -51,8 +68,15 @@ func (dr *DREAM) Calibrate(obj Objective, lo, hi []float64, budget int, rng *ran
 	}
 	temp := math.Max(bestF/10, 1e-9)
 	gammaBase := 2.38 / math.Sqrt(2*float64(d))
+	snap := make([]scored, n)
 	for evals < budget {
-		for i := 0; i < n && evals < budget; i++ {
+		sweep := n
+		if sweep > budget-evals {
+			sweep = budget - evals
+		}
+		copy(snap, chains)
+		xs = xs[:0]
+		for i := 0; i < sweep; i++ {
 			r1, r2 := rng.Intn(n), rng.Intn(n)
 			for r1 == i {
 				r1 = rng.Intn(n)
@@ -64,27 +88,31 @@ func (dr *DREAM) Calibrate(obj Objective, lo, hi []float64, budget int, rng *ran
 			if rng.Float64() < 0.1 {
 				gamma = 1.0 // mode-jumping step
 			}
-			prop := cloneVec(chains[i].x)
+			prop := cloneVec(snap[i].x)
 			moved := false
 			for j := 0; j < d; j++ {
 				if rng.Float64() > cr {
 					continue
 				}
 				e := 1e-6 * (hi[j] - lo[j]) * rng.NormFloat64()
-				prop[j] += gamma*(chains[r1].x[j]-chains[r2].x[j]) + e
+				prop[j] += gamma*(snap[r1].x[j]-snap[r2].x[j]) + e
 				moved = true
 			}
 			if !moved {
 				j := rng.Intn(d)
-				prop[j] += gamma * (chains[r1].x[j] - chains[r2].x[j])
+				prop[j] += gamma * (snap[r1].x[j] - snap[r2].x[j])
 			}
 			clampBox(prop, lo, hi)
-			f := obj(prop)
-			evals++
+			xs = append(xs, prop)
+		}
+		fs = obj(xs, fs[:0])
+		evals += len(xs)
+		for i := 0; i < sweep; i++ {
+			f := fs[i]
 			if f < chains[i].f || rng.Float64() < math.Exp((chains[i].f-f)/temp) {
-				chains[i] = scored{prop, f}
+				chains[i] = scored{xs[i], f}
 				if f < bestF {
-					best, bestF = cloneVec(prop), f
+					best, bestF = cloneVec(xs[i]), f
 				}
 			}
 		}

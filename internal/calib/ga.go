@@ -23,8 +23,19 @@ func NewGA() *GA { return &GA{} }
 // Name implements Calibrator.
 func (*GA) Name() string { return "GA" }
 
-// Calibrate implements Calibrator.
+// Calibrate implements Calibrator by delegating to CalibrateBatch over a
+// scalar adapter; both entry points follow the same trajectory.
 func (g *GA) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64) {
+	return g.CalibrateBatch(ScalarBatch(obj), lo, hi, budget, rng)
+}
+
+// CalibrateBatch implements BatchCalibrator: each generation's children are
+// generated first (consuming the RNG stream exactly as the sequential
+// generate-then-evaluate loop did — evaluation consumes no randomness) and
+// then scored through one batch objective call. Tournament selection reads
+// the previous generation, so deferring evaluation to the cohort boundary
+// changes nothing about the trajectory.
+func (g *GA) CalibrateBatch(obj BatchObjective, lo, hi []float64, budget int, rng *rand.Rand) ([]float64, float64) {
 	pop := g.PopSize
 	if pop == 0 {
 		pop = 24
@@ -38,14 +49,16 @@ func (g *GA) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Ra
 		elite = 2
 	}
 	evals := 0
-	evaluate := func(x []float64) float64 {
-		evals++
-		return obj(x)
+	xs := make([][]float64, 0, pop)
+	fs := make([]float64, 0, pop)
+	for i := 0; i < pop; i++ {
+		xs = append(xs, uniformBox(rng, lo, hi))
 	}
+	fs = obj(xs, fs[:0])
+	evals += len(xs)
 	cur := make([]scored, pop)
 	for i := range cur {
-		x := uniformBox(rng, lo, hi)
-		cur[i] = scored{x, evaluate(x)}
+		cur[i] = scored{xs[i], fs[i]}
 	}
 	sortScored(cur)
 	tournament := func() []float64 {
@@ -61,7 +74,12 @@ func (g *GA) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Ra
 		for i := 0; i < elite && i < len(cur); i++ {
 			next = append(next, scored{cloneVec(cur[i].x), cur[i].f})
 		}
-		for len(next) < pop && evals < budget {
+		nchild := pop - len(next)
+		if nchild > budget-evals {
+			nchild = budget - evals
+		}
+		xs = xs[:0]
+		for c := 0; c < nchild; c++ {
 			p1, p2 := tournament(), tournament()
 			child := make([]float64, len(lo))
 			for j := range child {
@@ -76,7 +94,12 @@ func (g *GA) Calibrate(obj Objective, lo, hi []float64, budget int, rng *rand.Ra
 				}
 			}
 			clampBox(child, lo, hi)
-			next = append(next, scored{child, evaluate(child)})
+			xs = append(xs, child)
+		}
+		fs = obj(xs, fs[:0])
+		evals += len(xs)
+		for i, x := range xs {
+			next = append(next, scored{x, fs[i]})
 		}
 		cur = next
 		sortScored(cur)

@@ -1,7 +1,10 @@
 package calib
 
 import (
+	"math"
+
 	"gmr/internal/bio"
+	"gmr/internal/expr"
 	"gmr/internal/metrics"
 )
 
@@ -22,6 +25,58 @@ func RiverObjective(forcing [][]float64, obs []float64, sim bio.SimConfig) (Obje
 	return func(params []float64) float64 {
 		preds := sys.Predict(forcing, params, sim)
 		return metrics.RMSE(preds, obs)
+	}, nil
+}
+
+// RiverBatchObjective is the lane-batched form of RiverObjective: the
+// manual process is compiled once into the segmented register VM, the
+// exogenous plan is hoisted once over the training window, and each call
+// scores a whole population through bio.KernelLanes — every STEP
+// instruction dispatched once per expr.Lanes parameter vectors instead of
+// once per vector (DESIGN.md §11). Scores are bitwise identical to
+// RiverObjective's (the segmented and lane kernels reproduce the compiled
+// system bit for bit, and aborted members yield the same truncated
+// NaN-terminated prediction series). The returned closure reuses internal
+// buffers and is not safe for concurrent calls.
+func RiverBatchObjective(forcing [][]float64, obs []float64, sim bio.SimConfig) (BatchObjective, error) {
+	phy, zoo, _, err := bio.ManualSystem()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := bio.NewSegSystem(phy, zoo)
+	if err != nil {
+		return nil, err
+	}
+	plan := sys.BuildExogPlan(forcing)
+	var sc bio.SimScratch
+	var preds [expr.Lanes][]float64
+	return func(params [][]float64, out []float64) []float64 {
+		for base := 0; base < len(params); base += expr.Lanes {
+			end := base + expr.Lanes
+			if end > len(params) {
+				end = len(params)
+			}
+			chunk := params[base:end]
+			for i := range chunk {
+				preds[i] = preds[i][:0]
+			}
+			sys.PrologueLanes(chunk, &sc)
+			sys.KernelLanes(plan, sim, &sc, len(chunk), func(m, t int, bphy float64) bool {
+				// The scalar kernel records NaN for the day a member's
+				// state goes non-finite and stops; mirror that here so
+				// RMSE sees the same truncated series.
+				if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
+					preds[m] = append(preds[m], math.NaN())
+					return false
+				}
+				preds[m] = append(preds[m], bphy)
+				return true
+			})
+			for i := range chunk {
+				out = append(out, metrics.RMSE(preds[i], obs))
+			}
+		}
+		return out
 	}, nil
 }
 

@@ -206,6 +206,16 @@ type Stats struct {
 	BatchCalls     int // EvaluateParamBatch invocations
 	BatchMembers   int // parameter vectors evaluated through the batch API
 
+	// Lane-batched kernel counters (DESIGN.md §11): one lane batch is one
+	// KernelLanes launch scoring up to expr.Lanes members per instruction
+	// dispatch. LanesFilled sums the live lanes across launches, so
+	// LanesFilled/LaneBatches is the average fill; LaneShortCircuits counts
+	// Algorithm 1 early stops decided inside lane batches (a subset of
+	// ShortCircuits).
+	LaneBatches       int // KernelLanes launches
+	LanesFilled       int // members carried by those launches (Σ chunk sizes)
+	LaneShortCircuits int // short circuits decided on the lane path
+
 	// Quarantine counters, by reason code (simulations aborted with +Inf
 	// fitness rather than a measured RMSE).
 	QuarNaN          int // state became NaN mid-simulation
@@ -235,6 +245,9 @@ func (s *Stats) Add(o Stats) {
 	s.RegsHoisted += o.RegsHoisted
 	s.BatchCalls += o.BatchCalls
 	s.BatchMembers += o.BatchMembers
+	s.LaneBatches += o.LaneBatches
+	s.LanesFilled += o.LanesFilled
+	s.LaneShortCircuits += o.LaneShortCircuits
 	s.QuarNaN += o.QuarNaN
 	s.QuarInf += o.QuarInf
 	s.QuarDeadline += o.QuarDeadline
@@ -258,29 +271,35 @@ type counters struct {
 	regsHoisted    atomic.Int64
 	batchCalls     atomic.Int64
 	batchMembers   atomic.Int64
+	laneBatches    atomic.Int64
+	lanesFilled    atomic.Int64
+	laneShortCircs atomic.Int64
 	quarantine     [numReasons]atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Evaluations:      int(c.evaluations.Load()),
-		FullEvals:        int(c.fullEvals.Load()),
-		ShortCircuits:    int(c.shortCircuits.Load()),
-		CacheHits:        int(c.cacheHits.Load()),
-		Tier1Hits:        int(c.tier1Hits.Load()),
-		Derives:          int(c.derives.Load()),
-		Compiles:         int(c.compiles.Load()),
-		StepsEvaluated:   int(c.stepsEvaluated.Load()),
-		StepsPossible:    int(c.stepsPossible.Load()),
-		ExogPlanBuilds:   int(c.exogPlanBuilds.Load()),
-		ExogPlanHits:     int(c.exogPlanHits.Load()),
-		RegsHoisted:      int(c.regsHoisted.Load()),
-		BatchCalls:       int(c.batchCalls.Load()),
-		BatchMembers:     int(c.batchMembers.Load()),
-		QuarNaN:          int(c.quarantine[ReasonNaN].Load()),
-		QuarInf:          int(c.quarantine[ReasonInf].Load()),
-		QuarDeadline:     int(c.quarantine[ReasonDeadline].Load()),
-		QuarBadStructure: int(c.quarantine[ReasonBadStructure].Load()),
+		Evaluations:       int(c.evaluations.Load()),
+		FullEvals:         int(c.fullEvals.Load()),
+		ShortCircuits:     int(c.shortCircuits.Load()),
+		CacheHits:         int(c.cacheHits.Load()),
+		Tier1Hits:         int(c.tier1Hits.Load()),
+		Derives:           int(c.derives.Load()),
+		Compiles:          int(c.compiles.Load()),
+		StepsEvaluated:    int(c.stepsEvaluated.Load()),
+		StepsPossible:     int(c.stepsPossible.Load()),
+		ExogPlanBuilds:    int(c.exogPlanBuilds.Load()),
+		ExogPlanHits:      int(c.exogPlanHits.Load()),
+		RegsHoisted:       int(c.regsHoisted.Load()),
+		BatchCalls:        int(c.batchCalls.Load()),
+		BatchMembers:      int(c.batchMembers.Load()),
+		LaneBatches:       int(c.laneBatches.Load()),
+		LanesFilled:       int(c.lanesFilled.Load()),
+		LaneShortCircuits: int(c.laneShortCircs.Load()),
+		QuarNaN:           int(c.quarantine[ReasonNaN].Load()),
+		QuarInf:           int(c.quarantine[ReasonInf].Load()),
+		QuarDeadline:      int(c.quarantine[ReasonDeadline].Load()),
+		QuarBadStructure:  int(c.quarantine[ReasonBadStructure].Load()),
 	}
 }
 
@@ -299,6 +318,9 @@ func (c *counters) reset() {
 	c.regsHoisted.Store(0)
 	c.batchCalls.Store(0)
 	c.batchMembers.Store(0)
+	c.laneBatches.Store(0)
+	c.lanesFilled.Store(0)
+	c.laneShortCircs.Store(0)
 	for i := range c.quarantine {
 		c.quarantine[i].Store(0)
 	}
@@ -349,10 +371,27 @@ type Evaluator struct {
 }
 
 // evalScratch is the per-goroutine reusable state of one evaluation: the
-// simulator buffers and the cache-key builder.
+// simulator buffers, the cache-key builder, and the lane-batch member
+// table (reused so steady-state lane batches allocate nothing).
 type evalScratch struct {
-	sim bio.SimScratch
-	key []byte
+	sim        bio.SimScratch
+	key        []byte
+	lane       []laneMember
+	laneParams [][]float64
+}
+
+// laneMember is the per-member accumulator of one lane-batched evaluation:
+// the same running state the scalar simulate keeps in closure locals, held
+// per lane so one hook can drive all members of a KernelLanes launch.
+type laneMember struct {
+	idx    int // index into the caller's out slice
+	params []float64
+	poison int // fault-injected NaN step, -1 when clean
+	sse    float64
+	steps  int
+	short  float64 // extrapolated surrogate fitness when scd
+	scd    bool
+	reason Reason
 }
 
 // cacheEntry is a tier-2 record: the memoized fitness of one
@@ -496,6 +535,14 @@ type Snapshot struct {
 	BatchCalls     int `json:"batch_calls"`
 	BatchMembers   int `json:"batch_members"`
 
+	// Lane-batched kernel telemetry (DESIGN.md §11): launches of the
+	// multi-lane STEP kernel, the members they carried (their ratio is the
+	// average lane fill), and Algorithm 1 early stops decided inside lane
+	// batches.
+	LaneBatches       int `json:"lane_batches"`
+	LanesFilled       int `json:"lanes_filled"`
+	LaneShortCircuits int `json:"lane_short_circuits"`
+
 	// Quarantine counters (omitted when zero, so fault-free streams keep
 	// their previous byte format).
 	QuarNaN          int `json:"quar_nan,omitempty"`
@@ -511,26 +558,29 @@ type Snapshot struct {
 func (e *Evaluator) Snapshot() Snapshot {
 	st := e.ctr.snapshot()
 	snap := Snapshot{
-		Evaluations:    st.Evaluations,
-		FullEvals:      st.FullEvals,
-		ShortCircuits:  st.ShortCircuits,
-		Tier1Hits:      st.Tier1Hits,
-		Tier1Misses:    st.Evaluations - st.Tier1Hits,
-		Tier2Hits:      st.CacheHits,
-		Tier2Misses:    st.Evaluations - st.CacheHits,
-		Derives:          st.Derives,
-		Compiles:         st.Compiles,
-		StepsEvaluated:   st.StepsEvaluated,
-		StepsPossible:    st.StepsPossible,
-		ExogPlanBuilds:   st.ExogPlanBuilds,
-		ExogPlanHits:     st.ExogPlanHits,
-		RegsHoisted:      st.RegsHoisted,
-		BatchCalls:       st.BatchCalls,
-		BatchMembers:     st.BatchMembers,
-		QuarNaN:          st.QuarNaN,
-		QuarInf:          st.QuarInf,
-		QuarDeadline:     st.QuarDeadline,
-		QuarBadStructure: st.QuarBadStructure,
+		Evaluations:       st.Evaluations,
+		FullEvals:         st.FullEvals,
+		ShortCircuits:     st.ShortCircuits,
+		Tier1Hits:         st.Tier1Hits,
+		Tier1Misses:       st.Evaluations - st.Tier1Hits,
+		Tier2Hits:         st.CacheHits,
+		Tier2Misses:       st.Evaluations - st.CacheHits,
+		Derives:           st.Derives,
+		Compiles:          st.Compiles,
+		StepsEvaluated:    st.StepsEvaluated,
+		StepsPossible:     st.StepsPossible,
+		ExogPlanBuilds:    st.ExogPlanBuilds,
+		ExogPlanHits:      st.ExogPlanHits,
+		RegsHoisted:       st.RegsHoisted,
+		BatchCalls:        st.BatchCalls,
+		BatchMembers:      st.BatchMembers,
+		LaneBatches:       st.LaneBatches,
+		LanesFilled:       st.LanesFilled,
+		LaneShortCircuits: st.LaneShortCircuits,
+		QuarNaN:           st.QuarNaN,
+		QuarInf:           st.QuarInf,
+		QuarDeadline:      st.QuarDeadline,
+		QuarBadStructure:  st.QuarBadStructure,
 	}
 	if snap.Tier1Misses < 0 {
 		snap.Tier1Misses = 0
@@ -694,6 +744,12 @@ func (e *Evaluator) EvaluateParamBatch(ind *gp.Individual, paramSets [][]float64
 		// stays comparable with sequential evaluation.
 		e.ctr.tier1Hits.Add(int64(len(paramSets) - 1))
 	}
+	if ent != nil && !ent.bad && ent.seg != nil && e.opts.EvalDeadline == 0 {
+		// Lane-batched fast path (DESIGN.md §11): score up to expr.Lanes
+		// members per STEP-instruction dispatch. Deadline evaluations stay
+		// on the scalar path — their wall-clock polls are per-member.
+		return e.evalParamBatchLanes(ent, key, paramSets, out, sc)
+	}
 	for _, ps := range paramSets {
 		e.ctr.evaluations.Add(1)
 		e.ctr.stepsPossible.Add(int64(len(e.obs)))
@@ -719,6 +775,143 @@ func (e *Evaluator) EvaluateParamBatch(ind *gp.Individual, paramSets [][]float64
 		e.ctr.quarantineCount(reason)
 		e.recordResult(fitness, full, steps)
 		out = append(out, gp.BatchResult{Fitness: fitness, Full: full})
+	}
+	return out
+}
+
+// evalParamBatchLanes is the lane-batched body of EvaluateParamBatch: the
+// members that miss the tier-2 cache integrate through bio.KernelLanes in
+// expr.Lanes-wide chunks, one instruction dispatch scoring the whole chunk.
+// Per-member semantics are exactly the scalar simulate's — the same fault
+// sites and NaN poisons, the same Algorithm 1 short-circuit decisions
+// against the batch-frozen reference, the same quarantine classification —
+// because the per-member hook state (laneMember) mirrors the scalar
+// closure's locals and the lane kernel delivers bitwise-identical per-day
+// values. A member whose evaluation short-circuits or aborts drops out of
+// its chunk mid-flight (lane compaction), so UseShortCircuit saves real
+// work inside batches instead of only truncating one member's loop.
+func (e *Evaluator) evalParamBatchLanes(ent *structEntry, key string, paramSets [][]float64, out []gp.BatchResult, sc *evalScratch) []gp.BatchResult {
+	n := len(e.obs)
+	base := len(out)
+	pending := sc.lane[:0]
+	for i, ps := range paramSets {
+		e.ctr.evaluations.Add(1)
+		e.ctr.stepsPossible.Add(int64(n))
+		out = append(out, gp.BatchResult{})
+		kb := appendFitKey(sc.key[:0], key, ps)
+		sc.key = kb
+		site := hashBytes(kb)
+		e.injectPre(site)
+		sh := &e.shards[site&(cacheShards-1)]
+		sh.mu.Lock()
+		if hit, ok := sh.fits[string(kb)]; ok {
+			sh.mu.Unlock()
+			e.ctr.cacheHits.Add(1)
+			out[base+i] = gp.BatchResult{Fitness: hit.fitness, Full: hit.full}
+			continue
+		}
+		sh.mu.Unlock()
+		// Cache miss: this member simulates. The plan lookup is counted
+		// per simulated member, exactly like the scalar path's planFor
+		// call inside simulate.
+		e.planFor(ent)
+		poison := -1
+		if n > 0 && e.opts.Faults.Hit(faultinject.NaN, site) {
+			poison = int(site % uint64(n))
+		}
+		pending = append(pending, laneMember{idx: base + i, params: ps, poison: poison})
+	}
+	sc.lane = pending
+	if len(pending) == 0 {
+		return out
+	}
+
+	threshold := e.opts.Threshold
+	best := math.Inf(1)
+	if e.opts.UseShortCircuit {
+		best = math.Float64frombits(e.frozenBits.Load())
+	}
+	minSteps := int(e.opts.MinFrac * float64(n))
+	var chunk []laneMember
+	hook := func(m, t int, bphy float64) bool {
+		lm := &chunk[m]
+		if t == lm.poison {
+			bphy = math.NaN()
+		}
+		if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
+			lm.sse = math.Inf(1)
+			lm.steps = t + 1
+			if math.IsNaN(bphy) {
+				lm.reason = ReasonNaN
+			} else {
+				lm.reason = ReasonInf
+			}
+			return false
+		}
+		d := bphy - e.obs[t]
+		lm.sse += d * d
+		lm.steps = t + 1
+		if !e.opts.UseShortCircuit || math.IsInf(best, 1) || t+1 < minSteps {
+			return true
+		}
+		fitness := math.Sqrt(lm.sse / float64(t+1))
+		if fitness > best*threshold {
+			est := e.opts.Extrap(fitness, t, n)
+			if est > best {
+				lm.short = est
+				lm.scd = true
+				return false // short circuit: the lane compacts away
+			}
+		}
+		return true
+	}
+
+	plan := ent.plan // materialized above via planFor
+	for start := 0; start < len(pending); start += expr.Lanes {
+		end := start + expr.Lanes
+		if end > len(pending) {
+			end = len(pending)
+		}
+		chunk = pending[start:end]
+		ps := sc.laneParams[:0]
+		for i := range chunk {
+			ps = append(ps, chunk[i].params)
+		}
+		sc.laneParams = ps
+		e.ctr.laneBatches.Add(1)
+		e.ctr.lanesFilled.Add(int64(len(chunk)))
+		if e.profLabels {
+			pprof.Do(context.Background(), pprof.Labels("eval_phase", "prologue"), func(context.Context) {
+				ent.seg.PrologueLanes(ps, &sc.sim)
+			})
+			pprof.Do(context.Background(), pprof.Labels("eval_phase", "step-kernel"), func(context.Context) {
+				ent.seg.KernelLanes(plan, e.opts.Sim, &sc.sim, len(chunk), hook)
+			})
+		} else {
+			ent.seg.PrologueLanes(ps, &sc.sim)
+			ent.seg.KernelLanes(plan, e.opts.Sim, &sc.sim, len(chunk), hook)
+		}
+	}
+
+	for i := range pending {
+		lm := &pending[i]
+		var fitness float64
+		var full bool
+		switch {
+		case lm.scd:
+			fitness, full = lm.short, false
+			e.ctr.laneShortCircs.Add(1)
+		case math.IsInf(lm.sse, 1) || lm.steps == 0 || lm.steps < n:
+			if lm.reason == ReasonOK && (math.IsInf(lm.sse, 1) || lm.steps > 0) {
+				lm.reason = ReasonNaN
+			}
+			fitness, full = math.Inf(1), true
+		default:
+			fitness, full = math.Sqrt(lm.sse/float64(n)), true
+		}
+		e.ctr.quarantineCount(lm.reason)
+		e.recordResult(fitness, full, lm.steps)
+		out[lm.idx] = gp.BatchResult{Fitness: fitness, Full: full}
 	}
 	return out
 }

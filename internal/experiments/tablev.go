@@ -173,13 +173,25 @@ func runCalibrator(ds *dataset.Dataset, sc Scale, seed int64, c calib.Calibrator
 	start := time.Now()
 	consts := bio.DefaultConstants()
 	sim := dataset.ModelSimConfig(sc.SubSteps, ds.ObsPhy[0], ds.ObsZoo[0])
-	obj, err := calib.RiverObjective(ds.TrainForcing(), ds.TrainObsPhy(), sim)
-	if err != nil {
-		return TableVRow{Method: c.Name()}, err
-	}
 	lo, hi := calib.Box(consts)
 	rng := stats.NewRand(seed*31 + int64(len(c.Name())))
-	params, _ := c.Calibrate(obj, lo, hi, sc.CalibBudget, rng)
+	var params []float64
+	if bc, ok := c.(calib.BatchCalibrator); ok {
+		// Population methods score whole cohorts through the lane-batched
+		// kernel; the trajectory is identical to the scalar path (see
+		// calib's batch parity tests), just cheaper per candidate.
+		obj, err := calib.RiverBatchObjective(ds.TrainForcing(), ds.TrainObsPhy(), sim)
+		if err != nil {
+			return TableVRow{Method: c.Name()}, err
+		}
+		params, _ = bc.CalibrateBatch(obj, lo, hi, sc.CalibBudget, rng)
+	} else {
+		obj, err := calib.RiverObjective(ds.TrainForcing(), ds.TrainObsPhy(), sim)
+		if err != nil {
+			return TableVRow{Method: c.Name()}, err
+		}
+		params, _ = c.Calibrate(obj, lo, hi, sc.CalibBudget, rng)
+	}
 	row, err := scoreProcess(ds, sc, bio.PhyDeriv(), bio.ZooDeriv(), params)
 	row.Class, row.Method = "Model calibration", c.Name()
 	row.Seconds = time.Since(start).Seconds()

@@ -683,10 +683,11 @@ func (e *Engine) refineElite(ind *Individual, sigma float64) {
 // refineChunk is the fan-out granularity of batched champion refinement:
 // parameter-only proposals are scored through the evaluator's batch API in
 // chunks of this size, each dispatched to the worker pool as one job. The
-// size is a constant (never derived from Workers), so the work partition —
-// and therefore every evaluated fitness — is identical for any worker
-// count, preserving the Workers=1-vs-N determinism contract.
-const refineChunk = 4
+// size matches expr.Lanes so each chunk fills one lane-batched kernel
+// dispatch, and it is a constant (never derived from Workers), so the work
+// partition — and therefore every evaluated fitness — is identical for any
+// worker count, preserving the Workers=1-vs-N determinism contract.
+const refineChunk = 8
 
 // evaluateProposals scores one round of refinement proposals. Proposals
 // that kept the champion's memoized structure key are parameter-only moves

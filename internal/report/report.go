@@ -60,8 +60,13 @@ func Write(w io.Writer, ds *dataset.Dataset, res *core.Result, opts Options) err
 		if st.StepsPossible > 0 {
 			frac = 100 * float64(st.StepsEvaluated) / float64(st.StepsPossible)
 		}
-		fmt.Fprintf(w, "evaluator: %d evaluations (%d full, %d short-circuited, %d cache hits); %.1f%% of fitness cases simulated\n\n",
+		fmt.Fprintf(w, "evaluator: %d evaluations (%d full, %d short-circuited, %d cache hits); %.1f%% of fitness cases simulated\n",
 			st.Evaluations, st.FullEvals, st.ShortCircuits, st.CacheHits, frac)
+		if st.LaneBatches > 0 {
+			fmt.Fprintf(w, "lane kernel: %d batches, %.1f avg lanes filled, %d lane short circuits\n",
+				st.LaneBatches, float64(st.LanesFilled)/float64(st.LaneBatches), st.LaneShortCircuits)
+		}
+		fmt.Fprintln(w)
 	}
 
 	window := ds.TrainForcing()
