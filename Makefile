@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz chaos bench bench-smoke bencheval bench-diff check clean
+.PHONY: all build vet test race fuzz chaos bench bench-smoke bencheval bench-diff servebench serve-smoke check clean
 
 all: check
 
@@ -46,9 +46,12 @@ bench:
 
 # bench-smoke compiles and runs every benchmark exactly once (-benchtime=1x):
 # a fast CI guard that benchmark code still builds and executes, without
-# measuring anything.
+# measuring anything. Includes a short servebench pass (0.2s per load
+# level) so the serving load generator stays green without measuring.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/expr/ ./internal/bio/ ./internal/evalx/
+	$(GO) run ./cmd/riverbench -exp servebench -serve-duration 200ms \
+		-serve-out /tmp/BENCH_SERVE.smoke.json
 
 # bencheval snapshots evaluator cold / tier-1 / param-batch / tier-2
 # numbers and cache hit rates into BENCH_EVAL.json (the README performance
@@ -64,7 +67,19 @@ bench-diff:
 	$(GO) run ./cmd/riverbench -exp bencheval \
 		-bench-out /tmp/BENCH_EVAL.head.json -baseline BENCH_EVAL.json
 
-check: build vet test race chaos fuzz
+# servebench measures the forecast-serving subsystem under closed-loop
+# load (1/8/64 clients, batched vs -serve-nobatch ablation) and writes
+# BENCH_SERVE.json (the README serving table's source). Fails unless
+# batched and unbatched forecasts are bitwise identical.
+servebench:
+	$(GO) run ./cmd/riverbench -exp servebench
+
+# serve-smoke boots the gmrd daemon on a random port, hits /healthz and
+# one /v1/forecast, and drains it — the CI serving smoke job.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count 1 ./cmd/gmrd/
+
+check: build vet test race chaos fuzz serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -34,12 +34,15 @@ import (
 	"os/signal"
 	"syscall"
 
+	"gmr/internal/bio"
 	"gmr/internal/core"
 	"gmr/internal/dataset"
 	"gmr/internal/evalx"
 	"gmr/internal/faultinject"
 	"gmr/internal/gp"
+	"gmr/internal/grammar"
 	"gmr/internal/report"
+	"gmr/internal/serve"
 )
 
 func main() {
@@ -54,6 +57,7 @@ func main() {
 		noES     = flag.Bool("no-es", false, "disable evaluation short-circuiting")
 		analyze  = flag.Bool("analyze", true, "run the variable-selectivity analysis")
 		savePath = flag.String("save", "", "write the best revised model (derivation + parameters) to this JSON file")
+		exportTo = flag.String("export-model", "", "write the best model as a deployable bundle (gmrd serve registry format) to this JSON file")
 
 		islands     = flag.Int("islands", 0, "run as an island model with this many islands (0 = sequential runs)")
 		migEvery    = flag.Int("migrate-every", 0, "generations between elite migrations (0 = default 5, <0 disables)")
@@ -190,6 +194,35 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("\nsaved best model to %s\n", *savePath)
+	}
+	// -export-model packages the champion for gmrd serve: the bundle
+	// carries the grammar hash and the serving-config digest so a daemon
+	// running an incompatible grammar or integration regime rejects it
+	// instead of forecasting garbage. Runs on the interrupt path too —
+	// partial champions are still deployable.
+	if *exportTo != "" {
+		g, err := grammar.River(grammar.DefaultExtensions())
+		if err != nil {
+			fatal(err)
+		}
+		sim := dataset.ModelSimConfig(*subSteps, ds.ObsPhy[0], ds.ObsZoo[0])
+		bundle, err := gp.NewBundle(res.Best, g, "gmr champion", serve.ConfigDigest(bio.DefaultConstants(), sim))
+		if err != nil {
+			fatal(err)
+		}
+		bundle.TrainRMSE = res.TrainRMSE
+		bundle.TestRMSE = res.TestRMSE
+		f, err := os.Create(*exportTo)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bundle.Write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("exported model bundle to %s (grammar %s, config %s)\n",
+			*exportTo, bundle.GrammarHash, bundle.ConfigDigest)
 	}
 }
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gmr/internal/bio"
+	"gmr/internal/core"
+	"gmr/internal/dataset"
+	"gmr/internal/gp"
+	"gmr/internal/serve"
+)
+
+// TestServeSmoke boots the daemon on a random port against a temp model
+// directory, exercises /healthz, /readyz, and one /v1/forecast, then
+// drains it via context cancellation (the SIGTERM path). This is the CI
+// serve-smoke job.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ind, g, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := serve.ConfigDigest(bio.DefaultConstants(), dataset.ModelSimConfig(2, 0, 0))
+	bundle, err := gp.NewBundle(ind, g, "smoke champion", digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bundle.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "champion.json"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-models", dir,
+			"-data-seed", "3",
+		}, io.Discard, func(addr string) { addrc <- addr })
+	}()
+
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before announcing: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not start in time")
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	body, _ := json.Marshal(map[string]any{"days": 21})
+	resp, err := http.Post(base+"/v1/forecast", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast: status %d: %s", resp.StatusCode, rb)
+	}
+	var fr serve.ForecastResponse
+	if err := json.Unmarshal(rb, &fr); err != nil {
+		t.Fatalf("forecast body %q: %v", rb, err)
+	}
+	if fr.Quarantined || len(fr.Predictions) != 21 {
+		t.Fatalf("forecast response: %+v", fr)
+	}
+	for i, p := range fr.Predictions {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("prediction %d is non-finite: %v", i, p)
+		}
+	}
+
+	cancel() // SIGTERM-equivalent: graceful drain
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain in time")
+	}
+}
+
+func TestServeRequiresModelsDir(t *testing.T) {
+	err := runServe(context.Background(), nil, io.Discard, nil)
+	if err == nil {
+		t.Fatal("runServe without -models succeeded")
+	}
+	if want := "-models is required"; err.Error() != want {
+		t.Fatalf("error %q, want %q", err, want)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"gmr/internal/experiments"
 	"gmr/internal/faultinject"
@@ -46,7 +47,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "tablev", "experiment: tablev, fig9, fig10, fig11, ablation, islands, bencheval, or all")
+		exp      = flag.String("exp", "tablev", "experiment: tablev, fig9, fig10, fig11, ablation, islands, bencheval, servebench, or all")
 		scale    = flag.String("scale", "small", "budget scale: small, medium, or paper")
 		seed     = flag.Int64("seed", 1, "master seed (dataset uses seed, methods use derived seeds)")
 		dsSeed   = flag.Int64("data-seed", 7, "synthetic dataset seed")
@@ -54,6 +55,11 @@ func main() {
 		pop      = flag.Int("pop", 60, "fig10 workload size (individuals)")
 		md       = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables (for EXPERIMENTS.md)")
 		benchOut = flag.String("bench-out", "BENCH_EVAL.json", "output path for the -exp bencheval snapshot")
+
+		serveDur     = flag.Duration("serve-duration", 2*time.Second, "servebench: closed-loop load duration per (mode, client-count) level")
+		serveOut     = flag.String("serve-out", "BENCH_SERVE.json", "servebench: output path for the serving-benchmark report")
+		serveNobatch = flag.Bool("serve-nobatch", false, "servebench: run only the batch-size-1 ablation (skips the batched mode and the speedup/identity checks)")
+
 		baseline = flag.String("baseline", "", "bencheval: compare against this snapshot and fail on >15% ns/op or any allocs/op regression")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -309,6 +315,10 @@ func main() {
 		runIslands()
 	case "bencheval":
 		if err := runBenchEval(ds, *benchOut, *baseline); err != nil {
+			fatal(err)
+		}
+	case "servebench":
+		if err := runServeBench(ds, *serveOut, *serveDur, *serveNobatch); err != nil {
 			fatal(err)
 		}
 	case "all":

@@ -1,0 +1,302 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gmr/internal/bio"
+	"gmr/internal/core"
+	"gmr/internal/dataset"
+	"gmr/internal/gp"
+	"gmr/internal/serve"
+)
+
+// -exp servebench: closed-loop load benchmark of the forecast-serving
+// subsystem (DESIGN.md §12). An in-process server is stood up over a temp
+// registry holding the baseline model; N closed-loop clients (1, 8, 64)
+// issue 365-day forecasts back to back, each drawing from a pool of
+// distinct parameter-override scenarios — the per-lane dimension, so
+// concurrent requests are co-batchable. The run is repeated with
+// micro-batching disabled (batch size 1, the -serve-nobatch ablation) and
+// the report includes the batched/unbatched throughput ratio at 64
+// clients plus a bitwise-identity check between the two modes' forecasts.
+// The response cache is disabled throughout so the executor, not the
+// cache, is measured.
+
+const (
+	sbDays      = 365 // forecast horizon: compute-dominated requests
+	sbScenarios = 256 // distinct parameter scenarios cycled by clients
+)
+
+type serveBenchRow struct {
+	Mode     string  `json:"mode"` // "batched" or "nobatch"
+	Clients  int     `json:"clients"`
+	Requests int64   `json:"requests"`
+	RPS      float64 `json:"rps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+type serveBenchReport struct {
+	Days         int             `json:"days"`
+	Scenarios    int             `json:"scenarios"`
+	DurationSec  float64         `json:"duration_sec"`
+	MaxBatch     int             `json:"max_batch"`
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	Rows         []serveBenchRow `json:"rows"`
+	Speedup64    float64         `json:"speedup_64clients"`
+	BitIdentical bool            `json:"bitwise_identical"`
+}
+
+// sbRequest is scenario i: a full-test-window forecast (start defaults to
+// the first test day) under a distinct CUA override. All scenarios share
+// one cohort key, so concurrent clients are maximally co-batchable.
+func sbRequest(i int) *serve.ForecastRequest {
+	return &serve.ForecastRequest{
+		Days:   sbDays,
+		Params: map[string]float64{"CUA": 1.2 + 0.005*float64(i%sbScenarios)},
+	}
+}
+
+// sbServer builds an in-process server over dir; maxBatch 1 is the
+// ablation, 0 the batched default.
+func sbServer(ds *dataset.Dataset, dir string, maxBatch int) (*serve.Server, error) {
+	return serve.New(serve.Config{
+		Dataset:   ds,
+		ModelsDir: dir,
+		MaxBatch:  maxBatch,
+		CacheSize: -1,
+	})
+}
+
+// sbLoad runs clients closed-loop for the duration and returns the row.
+func sbLoad(s *serve.Server, mode string, clients int, d time.Duration) (serveBenchRow, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+		reqs     atomic.Int64
+	)
+	deadline := time.Now().Add(d)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			for i := c; time.Now().Before(deadline); i += clients {
+				t0 := time.Now()
+				resp, code, err := s.Forecast(context.Background(), sbRequest(i))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d: %s: %v", c, code, err)
+					}
+					mu.Unlock()
+					return
+				}
+				if resp.Quarantined || len(resp.Predictions) != sbDays {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d: bad response (quar=%v n=%d)", c, resp.Quarantined, len(resp.Predictions))
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+				reqs.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return serveBenchRow{}, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx]) / 1e6
+	}
+	return serveBenchRow{
+		Mode:     mode,
+		Clients:  clients,
+		Requests: reqs.Load(),
+		RPS:      float64(reqs.Load()) / d.Seconds(),
+		P50Ms:    pct(0.50),
+		P99Ms:    pct(0.99),
+	}, nil
+}
+
+// sbIdentity replays one scenario sweep on both servers — concurrently on
+// the batched one, sequentially on the ablation — and checks bitwise
+// equality of every forecast.
+func sbIdentity(batched, single *serve.Server) (bool, error) {
+	n := 64
+	seq := make([]*serve.ForecastResponse, n)
+	for i := 0; i < n; i++ {
+		resp, code, err := single.Forecast(context.Background(), sbRequest(i))
+		if err != nil {
+			return false, fmt.Errorf("sequential %d: %s: %v", i, code, err)
+		}
+		seq[i] = resp
+	}
+	conc := make([]*serve.ForecastResponse, n)
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, code, err := batched.Forecast(context.Background(), sbRequest(i))
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("concurrent %d: %s: %v", i, code, err)
+				}
+				mu.Unlock()
+				return
+			}
+			conc[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return false, firstErr
+	}
+	for i := range seq {
+		if len(seq[i].Predictions) != len(conc[i].Predictions) {
+			return false, nil
+		}
+		for d := range seq[i].Predictions {
+			if math.Float64bits(seq[i].Predictions[d]) != math.Float64bits(conc[i].Predictions[d]) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// runServeBench stands up the registry and both server modes, runs the
+// load matrix, and writes the JSON report.
+func runServeBench(ds *dataset.Dataset, out string, perLevel time.Duration, nobatchOnly bool) error {
+	dir, err := os.MkdirTemp("", "servebench-models-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ind, g, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		return err
+	}
+	digest := serve.ConfigDigest(bio.DefaultConstants(), dataset.ModelSimConfig(2, 0, 0))
+	bundle, err := gp.NewBundle(ind, g, "servebench", digest)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := bundle.Write(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "champion.json"), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	rep := serveBenchReport{
+		Days:        sbDays,
+		Scenarios:   sbScenarios,
+		DurationSec: perLevel.Seconds(),
+		MaxBatch:    8,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	modes := []struct {
+		name     string
+		maxBatch int
+	}{{"batched", 0}, {"nobatch", 1}}
+	if nobatchOnly {
+		modes = modes[1:]
+		rep.MaxBatch = 1
+	}
+
+	fmt.Printf("servebench — %d-day forecasts, %d parameter scenarios, %.1fs per level\n",
+		sbDays, sbScenarios, perLevel.Seconds())
+	byKey := map[string]serveBenchRow{}
+	for _, mode := range modes {
+		s, err := sbServer(ds, dir, mode.maxBatch)
+		if err != nil {
+			return err
+		}
+		for _, clients := range []int{1, 8, 64} {
+			row, err := sbLoad(s, mode.name, clients, perLevel)
+			if err != nil {
+				s.Close()
+				return err
+			}
+			rep.Rows = append(rep.Rows, row)
+			byKey[fmt.Sprintf("%s/%d", mode.name, clients)] = row
+			fmt.Printf("  %-8s %2d clients: %7.1f req/s  p50 %6.2fms  p99 %6.2fms  (%d requests)\n",
+				mode.name, clients, row.RPS, row.P50Ms, row.P99Ms, row.Requests)
+		}
+		s.Close()
+	}
+
+	if !nobatchOnly {
+		b, err := sbServer(ds, dir, 0)
+		if err != nil {
+			return err
+		}
+		nb, err := sbServer(ds, dir, 1)
+		if err != nil {
+			b.Close()
+			return err
+		}
+		rep.BitIdentical, err = sbIdentity(b, nb)
+		b.Close()
+		nb.Close()
+		if err != nil {
+			return err
+		}
+		if r, ok := byKey["batched/64"]; ok {
+			if base := byKey["nobatch/64"]; base.RPS > 0 {
+				rep.Speedup64 = r.RPS / base.RPS
+			}
+		}
+		fmt.Printf("  64-client batched/nobatch throughput: %.2f×, bitwise identical: %v\n",
+			rep.Speedup64, rep.BitIdentical)
+		if !rep.BitIdentical {
+			return fmt.Errorf("servebench: batched and unbatched forecasts differ")
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", out)
+	return nil
+}

@@ -1,0 +1,158 @@
+package gp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"gmr/internal/tag"
+)
+
+// This file implements the model-bundle format: the deployable on-disk form
+// of a champion model. A bundle wraps a SavedIndividual with the two
+// compatibility fingerprints a serving process needs to refuse foreign
+// artifacts — the hash of the grammar that the derivation tree is encoded
+// against (elementary trees are referenced by name, so decoding against a
+// different grammar silently builds a different model), and an opaque
+// config digest computed by the producer over whatever evaluation
+// parameters forecasts depend on (constants layout, simulation regime).
+// The serving registry recomputes both and rejects mismatches with a
+// reason code instead of producing garbage forecasts (see internal/serve).
+
+// BundleVersion is the ModelBundle schema version; ReadBundle rejects
+// files written by an incompatible build.
+const BundleVersion = 1
+
+// ModelBundle is the on-disk form of a deployable model: the serialized
+// individual plus provenance and compatibility metadata.
+type ModelBundle struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+	// SavedAt records when the bundle was written (UTC).
+	SavedAt time.Time `json:"saved_at"`
+	// GrammarHash fingerprints the grammar the derivation is encoded
+	// against (GrammarHash).
+	GrammarHash string `json:"grammar_hash"`
+	// ConfigDigest is the producer's digest of the evaluation
+	// configuration forecasts depend on; consumers compare it against
+	// their own digest of the serving configuration.
+	ConfigDigest string `json:"config_digest"`
+	// TrainRMSE and TestRMSE are the producer-side accuracy of the model,
+	// recorded for operator inspection only (the serving registry
+	// re-scores against its own dataset).
+	TrainRMSE float64 `json:"train_rmse,omitempty"`
+	TestRMSE  float64 `json:"test_rmse,omitempty"`
+	// Model is the serialized individual.
+	Model *SavedIndividual `json:"model"`
+}
+
+// NewBundle packages an individual for deployment against the grammar it
+// was evolved under. configDigest is the producer's evaluation-config
+// digest (see ModelBundle.ConfigDigest).
+func NewBundle(ind *Individual, g *tag.Grammar, name, configDigest string) (*ModelBundle, error) {
+	saved, err := ind.Saved()
+	if err != nil {
+		return nil, fmt.Errorf("gp: bundle: %v", err)
+	}
+	return &ModelBundle{
+		Version:      BundleVersion,
+		Name:         name,
+		SavedAt:      time.Now().UTC(),
+		GrammarHash:  GrammarHash(g),
+		ConfigDigest: configDigest,
+		Model:        saved,
+	}, nil
+}
+
+// Write serializes the bundle as indented JSON.
+func (b *ModelBundle) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBundle decodes a bundle written by Write, validating the schema
+// version and the presence of a model. It does not resolve the derivation
+// tree; call Resolve with the serving grammar for that.
+func ReadBundle(r io.Reader) (*ModelBundle, error) {
+	var b ModelBundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("gp: bundle: %v", err)
+	}
+	if b.Version != BundleVersion {
+		return nil, fmt.Errorf("gp: bundle version %d, this build supports %d", b.Version, BundleVersion)
+	}
+	if b.Model == nil {
+		return nil, fmt.Errorf("gp: bundle has no model")
+	}
+	return &b, nil
+}
+
+// Resolve reconstructs the bundled individual against the grammar,
+// refusing a grammar whose hash does not match the bundle's: elementary
+// trees travel by name, so a mismatched grammar would silently decode a
+// different model (or fail opaquely).
+func (b *ModelBundle) Resolve(g *tag.Grammar) (*Individual, error) {
+	if got := GrammarHash(g); got != b.GrammarHash {
+		return nil, fmt.Errorf("gp: bundle grammar hash %s does not match serving grammar %s", b.GrammarHash, got)
+	}
+	ind, err := b.Model.Resolve(g)
+	if err != nil {
+		return nil, fmt.Errorf("gp: bundle: %v", err)
+	}
+	return ind, nil
+}
+
+// GrammarHash fingerprints a grammar's derivation-relevant content: every
+// elementary tree's name, kind, root symbol, and canonical template
+// expression (alphas in order, betas by sorted root symbol), plus the set
+// of lexeme symbols. Two grammars with equal hashes decode any encoded
+// derivation tree to the same model structure. Lexeme *generators* are
+// code, not data, and are excluded — they only affect random derivation,
+// never decoding.
+func GrammarHash(g *tag.Grammar) string {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= '|'
+		h *= 1099511628211
+	}
+	tree := func(t *tag.ElemTree) {
+		mix(t.Name)
+		mix(t.Kind.String())
+		mix(t.RootSym)
+		mix(t.Root.String())
+	}
+	mix("alphas")
+	for _, t := range g.Alphas {
+		tree(t)
+	}
+	syms := make([]string, 0, len(g.Betas))
+	for sym := range g.Betas {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	mix("betas")
+	for _, sym := range syms {
+		mix(sym)
+		for _, t := range g.Betas[sym] {
+			tree(t)
+		}
+	}
+	lex := make([]string, 0, len(g.Lexemes))
+	for sym := range g.Lexemes {
+		lex = append(lex, sym)
+	}
+	sort.Strings(lex)
+	mix("lexemes")
+	for _, sym := range lex {
+		mix(sym)
+	}
+	return strconv.FormatUint(h, 16)
+}

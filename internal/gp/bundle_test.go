@@ -1,0 +1,113 @@
+package gp_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gmr/internal/core"
+	"gmr/internal/gp"
+	"gmr/internal/grammar"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	ind, g, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind.Fitness = 3.25
+	ind.Evaluated = true
+	b, err := gp.NewBundle(ind, g, "roundtrip", "cfg-digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.TrainRMSE, b.TestRMSE = 3.25, 4.5
+
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gp.ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "roundtrip" || got.ConfigDigest != "cfg-digest-1" ||
+		got.GrammarHash != gp.GrammarHash(g) || got.TrainRMSE != 3.25 || got.TestRMSE != 4.5 {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	back, err := got.Resolve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Params) != len(ind.Params) {
+		t.Fatalf("params: %d vs %d", len(back.Params), len(ind.Params))
+	}
+	for i := range back.Params {
+		if math.Float64bits(back.Params[i]) != math.Float64bits(ind.Params[i]) {
+			t.Fatalf("param %d: %v vs %v", i, back.Params[i], ind.Params[i])
+		}
+	}
+	if math.Float64bits(back.Fitness) != math.Float64bits(ind.Fitness) {
+		t.Fatalf("fitness: %v vs %v", back.Fitness, ind.Fitness)
+	}
+	wantS, err := ind.Saved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := back.Saved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantS.Deriv) != string(gotS.Deriv) {
+		t.Fatal("derivation tree did not round-trip")
+	}
+}
+
+func TestBundleRefusesForeignGrammar(t *testing.T) {
+	ind, g, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gp.NewBundle(ind, g, "", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.GrammarHash = "0000000000000000"
+	if _, err := b.Resolve(g); err == nil || !strings.Contains(err.Error(), "grammar hash") {
+		t.Fatalf("resolved against mismatched grammar hash: %v", err)
+	}
+}
+
+func TestReadBundleRejectsBadInput(t *testing.T) {
+	if _, err := gp.ReadBundle(strings.NewReader("not json")); err == nil {
+		t.Fatal("decoded garbage")
+	}
+	if _, err := gp.ReadBundle(strings.NewReader(`{"version": 99, "model": {}}`)); err == nil {
+		t.Fatal("accepted foreign schema version")
+	}
+	if _, err := gp.ReadBundle(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Fatal("accepted bundle without a model")
+	}
+}
+
+func TestGrammarHashStableAndSensitive(t *testing.T) {
+	g1, err := grammar.River(grammar.DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := grammar.River(grammar.DefaultExtensions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.GrammarHash(g1) != gp.GrammarHash(g2) {
+		t.Fatal("equal grammars hash differently")
+	}
+	g3, err := grammar.River(grammar.DefaultExtensions()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.GrammarHash(g1) == gp.GrammarHash(g3) {
+		t.Fatal("different grammars share a hash")
+	}
+}

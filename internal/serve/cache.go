@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// respCache is the LRU response cache: serialized forecast responses keyed
+// by the full request digest (model version, window, overrides, parameter
+// overrides). Forecasts are pure functions of that key — responses carry
+// no per-request fields — so a hit is byte-identical to recomputation.
+// Keys embed the model's content-hash version, so a hot reload naturally
+// invalidates: stale versions stop being requested and age out of the LRU.
+type respCache struct {
+	mu     sync.Mutex
+	cap    int
+	items  map[respKey]*list.Element
+	lru    *list.List // front = most recent; values are *respEntry
+	hits   int64
+	misses int64
+}
+
+// respKey extends the cohort key with the parameter-override digest — the
+// one request dimension cohorts deliberately ignore (it is per-lane).
+type respKey struct {
+	cohortKey
+	paramDigest uint64
+}
+
+type respEntry struct {
+	key  respKey
+	body []byte
+}
+
+func newRespCache(capacity int) *respCache {
+	return &respCache{cap: capacity, items: map[respKey]*list.Element{}, lru: list.New()}
+}
+
+// get returns the cached serialized response, or nil. Counts a miss only
+// when caching is enabled (disabled caches are not "missing" anything).
+func (c *respCache) get(key respKey) []byte {
+	if c == nil || c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*respEntry).body
+	}
+	c.misses++
+	return nil
+}
+
+func (c *respCache) put(key respKey, body []byte) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*respEntry).body = body
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.lru.PushFront(&respEntry{key: key, body: body})
+	for c.lru.Len() > c.cap {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.items, el.Value.(*respEntry).key)
+	}
+}
+
+func (c *respCache) stats() (hits, misses int64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len()
+}

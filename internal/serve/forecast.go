@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+
+	"gmr/internal/bio"
+	"gmr/internal/dataset"
+	"gmr/internal/expr"
+)
+
+// ForecastRequest is a validated forecast job: simulate a model over a
+// window of the serving dataset under optional scenario overrides.
+//
+// Two kinds of overrides, matching the two batching dimensions of the SoA
+// kernel (DESIGN.md §11): forcing overrides scale exogenous columns and
+// therefore select the hoisted exogenous plan (requests sharing them can
+// share a lane cohort), while parameter overrides replace constant values
+// and ride in per-lane PARAM registers (requests differing only here pack
+// into one cohort, one kernel dispatch scoring up to expr.Lanes of them).
+type ForecastRequest struct {
+	// Model is the registry ID; empty selects the champion.
+	Model string `json:"model,omitempty"`
+	// Station names the forcing series; only "S1" (the routed study
+	// station) is servable. Empty means S1.
+	Station string `json:"station,omitempty"`
+	// Date is the ISO start date (alternative to Start).
+	Date string `json:"date,omitempty"`
+	// Start is the start day index into the dataset.
+	Start *int `json:"start,omitempty"`
+	// Days is the forecast horizon.
+	Days int `json:"days"`
+	// Overrides scales forcing variables: name → multiplicative factor
+	// (e.g. {"Vtmp": 1.1} = +10% water temperature scenario).
+	Overrides map[string]float64 `json:"overrides,omitempty"`
+	// Params overrides constant parameters by name (e.g. {"CDZ": 0.06}).
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// ForecastResponse is the wire result. Predictions are the simulated
+// phytoplankton biomass per day; when the simulation aborted on a
+// non-finite state the response is flagged quarantined with the evalx
+// reason vocabulary ("nan"/"inf") and the day it died, and Predictions
+// holds the finite prefix. Fields are a pure function of the request and
+// the model version, so responses are cacheable and bitwise comparable.
+type ForecastResponse struct {
+	Model       string    `json:"model"`
+	Version     string    `json:"version"`
+	Station     string    `json:"station"`
+	Start       int       `json:"start"`
+	StartDate   string    `json:"start_date"`
+	Days        int       `json:"days"`
+	Predictions []float64 `json:"predictions"`
+	Quarantined bool      `json:"quarantined,omitempty"`
+	Reason      string    `json:"reason,omitempty"`
+	Died        int       `json:"died,omitempty"`
+}
+
+// cohortKey identifies requests that may share one lane cohort: same
+// compiled model (version included), same forcing window, same forcing
+// overrides. Everything else — the parameter vector — is per-lane.
+type cohortKey struct {
+	version  string
+	station  string
+	start    int
+	days     int
+	ovDigest uint64
+}
+
+// execSpec is a resolved, executable forecast: the pinned model entry (so
+// a hot reload mid-flight cannot swap the structure under us), the cohort
+// key, the integration config, and the final parameter vector.
+type execSpec struct {
+	model     *Model
+	key       cohortKey
+	sim       bio.SimConfig
+	params    []float64
+	overrides map[string]float64
+}
+
+// resolve validates a request against the dataset and the current catalog
+// and builds its execSpec. The returned code ("bad_request",
+// "unknown_model", ...) maps to an HTTP status in the handler.
+func (s *Server) resolve(req *ForecastRequest) (*execSpec, string, error) {
+	if req.Station == "" {
+		req.Station = "S1"
+	}
+	if req.Station != "S1" {
+		return nil, "unknown_station", fmt.Errorf("station %q is not served (routed forcing exists only for S1)", req.Station)
+	}
+	start := -1
+	switch {
+	case req.Start != nil && req.Date != "":
+		return nil, "bad_request", fmt.Errorf("set either start or date, not both")
+	case req.Start != nil:
+		start = *req.Start
+	case req.Date != "":
+		for i, d := range s.ds.Dates {
+			if d == req.Date {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			return nil, "bad_request", fmt.Errorf("date %q is outside the dataset (%s…%s)", req.Date, s.ds.Dates[0], s.ds.Dates[len(s.ds.Dates)-1])
+		}
+	default:
+		start = s.ds.TrainEnd // default: forecast from the first test day
+	}
+	if start < 0 || start >= s.ds.Days {
+		return nil, "bad_request", fmt.Errorf("start %d outside dataset [0,%d)", start, s.ds.Days)
+	}
+	if req.Days <= 0 {
+		return nil, "bad_request", fmt.Errorf("days must be positive")
+	}
+	if start+req.Days > s.ds.Days {
+		return nil, "bad_request", fmt.Errorf("window [%d,%d) exceeds dataset length %d", start, start+req.Days, s.ds.Days)
+	}
+	for name, v := range req.Overrides {
+		idx, ok := s.varIdx[name]
+		if !ok || idx < len(bio.StateVars()) {
+			return nil, "bad_request", fmt.Errorf("override %q is not a forcing variable", name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, "bad_request", fmt.Errorf("override %q is non-finite", name)
+		}
+	}
+	for name, v := range req.Params {
+		if _, ok := s.paramIdx[name]; !ok {
+			return nil, "bad_request", fmt.Errorf("parameter %q is not a model constant", name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, "bad_request", fmt.Errorf("parameter %q is non-finite", name)
+		}
+	}
+
+	model, why := s.reg.Lookup(req.Model)
+	if model == nil {
+		return nil, "unknown_model", fmt.Errorf("%s", why)
+	}
+	params := model.params
+	if len(req.Params) > 0 {
+		params = append([]float64(nil), model.params...)
+		for name, v := range req.Params {
+			params[s.paramIdx[name]] = v
+		}
+	}
+	return &execSpec{
+		model: model,
+		key: cohortKey{
+			version:  model.Version,
+			station:  req.Station,
+			start:    start,
+			days:     req.Days,
+			ovDigest: overridesDigest(req.Overrides),
+		},
+		sim:       dataset.ModelSimConfig(s.subSteps, s.ds.ObsPhy[start], s.ds.ObsZoo[start]),
+		params:    params,
+		overrides: req.Overrides,
+	}, "", nil
+}
+
+// execResult is one member's outcome, delivered on its response channel.
+type execResult struct {
+	preds       []float64
+	quarantined bool
+	reason      string
+	died        int
+	err         error // executor panic; member gets a 500
+}
+
+// planCache memoizes hoisted exogenous plans per (model version, window,
+// forcing overrides): the T×k matrix of forcing-only register values is
+// built once and shared by every cohort over the same scenario window —
+// the serving analogue of the evaluator's tier-1.5 cache. LRU-bounded; a
+// reloaded model changes version, so its stale plans age out naturally.
+type planCache struct {
+	mu     sync.Mutex
+	cap    int
+	items  map[cohortKey]*list.Element
+	lru    *list.List // front = most recent; values are *planEntry
+	hits   int64
+	misses int64
+}
+
+type planEntry struct {
+	key  cohortKey
+	plan *bio.ExogPlan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, items: map[cohortKey]*list.Element{}, lru: list.New()}
+}
+
+// get returns the cached plan for key, building and inserting it via
+// build on a miss. Build runs outside the lock would allow duplicate
+// builds under contention; plans are cheap enough (one pass over the
+// window) that holding the lock keeps the code race-free and single-build.
+func (p *planCache) get(key cohortKey, build func() *bio.ExogPlan) *bio.ExogPlan {
+	if p == nil || p.cap <= 0 {
+		return build()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.items[key]; ok {
+		p.lru.MoveToFront(el)
+		p.hits++
+		return el.Value.(*planEntry).plan
+	}
+	p.misses++
+	plan := build()
+	p.items[key] = p.lru.PushFront(&planEntry{key: key, plan: plan})
+	for p.lru.Len() > p.cap {
+		el := p.lru.Back()
+		p.lru.Remove(el)
+		delete(p.items, el.Value.(*planEntry).key)
+	}
+	return plan
+}
+
+func (p *planCache) stats() (hits, misses int64, size int) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.lru.Len()
+}
+
+// planFor resolves the exogenous plan of a cohort: the serving window's
+// forcing rows, with any scenario overrides applied, hoisted through the
+// model's segmented program.
+func (s *Server) planFor(spec *execSpec) *bio.ExogPlan {
+	return s.plans.get(spec.key, func() *bio.ExogPlan {
+		rows := s.ds.Forcing[spec.key.start : spec.key.start+spec.key.days]
+		if len(spec.overrides) > 0 {
+			scaled := make([][]float64, len(rows))
+			for i, row := range rows {
+				r := append([]float64(nil), row...)
+				for name, f := range spec.overrides {
+					r[s.varIdx[name]] *= f
+				}
+				scaled[i] = r
+			}
+			rows = scaled
+		}
+		return spec.model.seg.BuildExogPlan(rows)
+	})
+}
+
+// execCohort runs one dispatched cohort through the lane kernel: one
+// prologue + one KernelLanes launch scores every member (all members share
+// the model, window, and plan by cohort-key construction; only parameter
+// vectors differ per lane). Per-member results are bitwise identical to a
+// single-lane run of the same request — lane arithmetic is elementwise and
+// compaction never perturbs surviving lanes (DESIGN.md §11) — which is
+// what makes the batch window invisible to clients beyond latency.
+func (s *Server) execCohort(members []*pendingReq) {
+	spec := members[0].spec
+	n := len(members)
+	plan := s.planFor(spec)
+
+	params := make([][]float64, n)
+	preds := make([][]float64, n)
+	type quar struct {
+		hit    bool
+		reason string
+		died   int
+	}
+	quars := make([]quar, n)
+	for i, m := range members {
+		params[i] = m.spec.params
+		preds[i] = make([]float64, 0, spec.key.days)
+	}
+	hook := func(m, t int, bphy float64) bool {
+		if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
+			reason := "inf"
+			if math.IsNaN(bphy) {
+				reason = "nan"
+			}
+			quars[m] = quar{hit: true, reason: reason, died: t}
+			return false
+		}
+		preds[m] = append(preds[m], bphy)
+		return true
+	}
+
+	sc := s.scratch.Get().(*bio.SimScratch)
+	for base := 0; base < n; base += expr.Lanes {
+		end := base + expr.Lanes
+		if end > n {
+			end = n
+		}
+		chunk := params[base:end]
+		spec.model.seg.PrologueLanes(chunk, sc)
+		off := base
+		spec.model.seg.KernelLanes(plan, spec.sim, sc, len(chunk), func(m, t int, bphy float64) bool {
+			return hook(off+m, t, bphy)
+		})
+		s.m.laneBatches.Add(1)
+		s.m.laneMembers.Add(int64(len(chunk)))
+	}
+	s.scratch.Put(sc)
+
+	for i, m := range members {
+		m.respond(execResult{
+			preds:       preds[i],
+			quarantined: quars[i].hit,
+			reason:      quars[i].reason,
+			died:        quars[i].died,
+		})
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Serving telemetry, exposed at /metrics in the Prometheus text exposition
+// format. Hand-rolled on stdlib atomics — the repo takes no dependencies —
+// with the same counter discipline as the evaluator snapshot (DESIGN.md
+// §9): monotonic counters plus a few instantaneous gauges sampled at
+// scrape time.
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache hits through multi-second overload tails.
+const numBuckets = 13
+
+var latencyBuckets = [numBuckets]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// histogram is a fixed-bucket cumulative latency histogram.
+type histogram struct {
+	counts [numBuckets + 1]atomic.Int64 // one per bucket + overflow
+	total  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+			h.total.Add(1)
+			h.sumNs.Add(int64(d))
+			return
+		}
+	}
+	h.counts[numBuckets].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// write emits the histogram in Prometheus cumulative form.
+func (h *histogram) write(w io.Writer, name string) {
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+	}
+	cum += h.counts[numBuckets].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+}
+
+// metricsSet is the server's counter block. Request outcomes are counted
+// by code ("ok", "quarantined", "bad_request", "shed", ...) so the shed
+// and error rates fall directly out of one metric family.
+type metricsSet struct {
+	mu       sync.Mutex
+	requests map[string]int64 // by outcome code
+
+	laneBatches   atomic.Int64 // kernel launches
+	laneMembers   atomic.Int64 // members those launches carried
+	deadlineDrops atomic.Int64 // members dropped before dispatch (ctx expired)
+	panics        atomic.Int64 // recovered request/cohort panics
+
+	latency histogram // end-to-end /v1/forecast latency
+}
+
+func newMetricsSet() *metricsSet {
+	return &metricsSet{requests: map[string]int64{}}
+}
+
+func (m *metricsSet) countRequest(code string) {
+	m.mu.Lock()
+	m.requests[code]++
+	m.mu.Unlock()
+}
+
+func (m *metricsSet) requestCounts() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.requests))
+	for k, v := range m.requests {
+		out[k] = v
+	}
+	return out
+}
+
+// writeMetrics renders the full exposition: server counters, live gauges,
+// cache stats, and the registry's evalx snapshot counters (read-only
+// access to the shared evaluation pipeline's telemetry).
+func (s *Server) writeMetrics(w io.Writer) {
+	m := s.m
+
+	fmt.Fprintln(w, "# HELP gmr_serve_requests_total Forecast requests by outcome code.")
+	fmt.Fprintln(w, "# TYPE gmr_serve_requests_total counter")
+	counts := m.requestCounts()
+	codes := make([]string, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "gmr_serve_requests_total{code=%q} %d\n", c, counts[c])
+	}
+
+	fmt.Fprintln(w, "# HELP gmr_serve_lane_batches_total Lane-kernel launches by the batching executor.")
+	fmt.Fprintln(w, "# TYPE gmr_serve_lane_batches_total counter")
+	batches := m.laneBatches.Load()
+	members := m.laneMembers.Load()
+	fmt.Fprintf(w, "gmr_serve_lane_batches_total %d\n", batches)
+	fmt.Fprintln(w, "# TYPE gmr_serve_lane_members_total counter")
+	fmt.Fprintf(w, "gmr_serve_lane_members_total %d\n", members)
+	fill := 0.0
+	if batches > 0 {
+		fill = float64(members) / float64(batches*laneWidth)
+	}
+	fmt.Fprintln(w, "# HELP gmr_serve_lane_fill_ratio Mean fraction of kernel lanes carrying a request.")
+	fmt.Fprintln(w, "# TYPE gmr_serve_lane_fill_ratio gauge")
+	fmt.Fprintf(w, "gmr_serve_lane_fill_ratio %g\n", fill)
+
+	fmt.Fprintln(w, "# TYPE gmr_serve_queue_depth gauge")
+	fmt.Fprintf(w, "gmr_serve_queue_depth %d\n", len(s.bat.queue))
+	fmt.Fprintln(w, "# TYPE gmr_serve_deadline_drops_total counter")
+	fmt.Fprintf(w, "gmr_serve_deadline_drops_total %d\n", m.deadlineDrops.Load())
+	fmt.Fprintln(w, "# TYPE gmr_serve_panics_total counter")
+	fmt.Fprintf(w, "gmr_serve_panics_total %d\n", m.panics.Load())
+
+	fmt.Fprintln(w, "# HELP gmr_serve_request_seconds End-to-end forecast latency.")
+	fmt.Fprintln(w, "# TYPE gmr_serve_request_seconds histogram")
+	m.latency.write(w, "gmr_serve_request_seconds")
+
+	rcHits, rcMisses, rcSize := s.respCache.stats()
+	fmt.Fprintln(w, "# TYPE gmr_serve_response_cache_hits_total counter")
+	fmt.Fprintf(w, "gmr_serve_response_cache_hits_total %d\n", rcHits)
+	fmt.Fprintln(w, "# TYPE gmr_serve_response_cache_misses_total counter")
+	fmt.Fprintf(w, "gmr_serve_response_cache_misses_total %d\n", rcMisses)
+	fmt.Fprintln(w, "# TYPE gmr_serve_response_cache_entries gauge")
+	fmt.Fprintf(w, "gmr_serve_response_cache_entries %d\n", rcSize)
+
+	pcHits, pcMisses, pcSize := s.plans.stats()
+	fmt.Fprintln(w, "# TYPE gmr_serve_plan_cache_hits_total counter")
+	fmt.Fprintf(w, "gmr_serve_plan_cache_hits_total %d\n", pcHits)
+	fmt.Fprintln(w, "# TYPE gmr_serve_plan_cache_misses_total counter")
+	fmt.Fprintf(w, "gmr_serve_plan_cache_misses_total %d\n", pcMisses)
+	fmt.Fprintln(w, "# TYPE gmr_serve_plan_cache_entries gauge")
+	fmt.Fprintf(w, "gmr_serve_plan_cache_entries %d\n", pcSize)
+
+	cat := s.reg.Catalog()
+	ready := 0
+	for _, id := range cat.order {
+		if cat.models[id].Ready() {
+			ready++
+		}
+	}
+	fmt.Fprintln(w, "# TYPE gmr_serve_models gauge")
+	fmt.Fprintf(w, "gmr_serve_models{status=\"ready\"} %d\n", ready)
+	fmt.Fprintf(w, "gmr_serve_models{status=\"rejected\"} %d\n", len(cat.order)-ready)
+	fmt.Fprintln(w, "# TYPE gmr_serve_catalog_version gauge")
+	fmt.Fprintf(w, "gmr_serve_catalog_version %d\n", cat.version)
+	fmt.Fprintln(w, "# TYPE gmr_serve_reloads_total counter")
+	fmt.Fprintf(w, "gmr_serve_reloads_total %d\n", s.reg.Reloads())
+
+	// Registry evaluator counters: the tier-1/tier-2/exog-plan/quarantine
+	// telemetry of the shared evalx pipeline used for load-time validation.
+	snap := s.reg.EvalSnapshot()
+	fmt.Fprintln(w, "# HELP gmr_serve_evalx Validation-evaluator snapshot counters (see DESIGN.md §9–11).")
+	fmt.Fprintln(w, "# TYPE gmr_serve_evalx counter")
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"evaluations", snap.Evaluations},
+		{"full_evals", snap.FullEvals},
+		{"tier1_hits", snap.Tier1Hits},
+		{"tier1_misses", snap.Tier1Misses},
+		{"tier2_hits", snap.Tier2Hits},
+		{"tier2_misses", snap.Tier2Misses},
+		{"derives", snap.Derives},
+		{"compiles", snap.Compiles},
+		{"exog_plan_builds", snap.ExogPlanBuilds},
+		{"exog_plan_hits", snap.ExogPlanHits},
+		{"quar_nan", snap.QuarNaN},
+		{"quar_inf", snap.QuarInf},
+		{"quar_deadline", snap.QuarDeadline},
+		{"quar_bad_structure", snap.QuarBadStructure},
+	} {
+		fmt.Fprintf(w, "gmr_serve_evalx{counter=%q} %d\n", c.name, c.v)
+	}
+}

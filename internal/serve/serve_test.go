@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// requestMatrix builds n requests that are co-batchable in groups: a few
+// distinct forecast windows, each fanned out across distinct parameter
+// overrides (the per-lane dimension), plus quarantine members. All model
+// arithmetic is protected (SafeDiv/SafeExp/SafeLog) and the state clamps
+// saturate overflow, so producing a genuine NaN takes a 0×Inf: CUA=1e308
+// with a negative CBL drives CUA·f(Vlgt) to -Inf, and a Vn×0 forcing
+// override zeroes the nutrient limitation — (-Inf)·0 = NaN on day one.
+func requestMatrix(n int) []*ForecastRequest {
+	reqs := make([]*ForecastRequest, n)
+	for i := range reqs {
+		start := 10 + 40*(i%3) // three distinct windows
+		req := &ForecastRequest{
+			Start:  &start,
+			Days:   25,
+			Params: map[string]float64{"CUA": 1.6 + 0.01*float64(i)},
+		}
+		if i%7 == 3 {
+			req.Params["CUA"] = 1e308
+			req.Params["CBL"] = -1e-3
+			req.Overrides = map[string]float64{"Vn": 0}
+		} else if i%5 == 2 {
+			req.Overrides = map[string]float64{"Vtmp": 1.1}
+		}
+		reqs[i] = req
+	}
+	return reqs
+}
+
+func forecastAll(t *testing.T, s *Server, reqs []*ForecastRequest, concurrent bool) []*ForecastResponse {
+	t.Helper()
+	out := make([]*ForecastResponse, len(reqs))
+	if !concurrent {
+		for i, req := range reqs {
+			resp, code, err := s.Forecast(context.Background(), req)
+			if err != nil {
+				t.Fatalf("sequential request %d: %s: %v", i, code, err)
+			}
+			out[i] = resp
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req *ForecastRequest) {
+			defer wg.Done()
+			resp, code, err := s.Forecast(context.Background(), req)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %v", code, err)
+				return
+			}
+			out[i] = resp
+		}(i, req)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent request %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestForecastBasic(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	resp, code, err := s.Forecast(context.Background(), &ForecastRequest{Days: 30})
+	if err != nil {
+		t.Fatalf("%s: %v", code, err)
+	}
+	if resp.Quarantined {
+		t.Fatalf("baseline forecast quarantined: %s at %d", resp.Reason, resp.Died)
+	}
+	if len(resp.Predictions) != 30 {
+		t.Fatalf("got %d predictions, want 30", len(resp.Predictions))
+	}
+	ds := testDataset(t)
+	if resp.Start != ds.TrainEnd {
+		t.Fatalf("default start %d, want first test day %d", resp.Start, ds.TrainEnd)
+	}
+	for i, p := range resp.Predictions {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 {
+			t.Fatalf("prediction %d = %v not finite positive", i, p)
+		}
+	}
+}
+
+func TestForecastValidation(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	four := 4
+	huge := 1 << 20
+	for _, tc := range []struct {
+		name string
+		req  ForecastRequest
+		code string
+	}{
+		{"no days", ForecastRequest{}, "bad_request"},
+		{"both start and date", ForecastRequest{Start: &four, Date: "2001-01-01", Days: 5}, "bad_request"},
+		{"window overflow", ForecastRequest{Start: &huge, Days: 5}, "bad_request"},
+		{"unknown date", ForecastRequest{Date: "1990-01-01", Days: 5}, "bad_request"},
+		{"state override", ForecastRequest{Days: 5, Overrides: map[string]float64{"BPhy": 2}}, "bad_request"},
+		{"unknown override", ForecastRequest{Days: 5, Overrides: map[string]float64{"Xyz": 2}}, "bad_request"},
+		{"nan override", ForecastRequest{Days: 5, Overrides: map[string]float64{"Vn": math.NaN()}}, "bad_request"},
+		{"unknown param", ForecastRequest{Days: 5, Params: map[string]float64{"Xyz": 2}}, "bad_request"},
+		{"unknown model", ForecastRequest{Days: 5, Model: "nope"}, "unknown_model"},
+		{"unknown station", ForecastRequest{Days: 5, Station: "S9"}, "unknown_station"},
+	} {
+		if _, code, err := s.Forecast(context.Background(), &tc.req); err == nil || code != tc.code {
+			t.Errorf("%s: got code %q err %v, want %q", tc.name, code, err, tc.code)
+		}
+	}
+}
+
+// TestConcurrentMatchesSequential is the batching-correctness property:
+// N concurrent requests against a micro-batching server produce bitwise
+// the same forecasts as the same N requests run sequentially through a
+// batch-size-1 server — including the quarantine members. This holds
+// because lane arithmetic is elementwise and lane compaction never
+// perturbs surviving lanes (the PR5 lane-vs-scalar contract), so cohort
+// packing is invisible in the output.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	batched, dir := newTestServer(t, func(c *Config) {
+		c.BatchWindow = 5 * time.Millisecond
+	})
+	single, err := New(Config{
+		Dataset:   testDataset(t),
+		ModelsDir: dir,
+		MaxBatch:  1,
+		CacheSize: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	reqs := requestMatrix(48)
+	want := forecastAll(t, single, reqs, false)
+	got := forecastAll(t, batched, reqs, true)
+
+	quarantined := 0
+	for i := range reqs {
+		w, g := want[i], got[i]
+		if w.Quarantined != g.Quarantined || w.Reason != g.Reason || w.Died != g.Died {
+			t.Fatalf("request %d: quarantine mismatch: sequential {%v %s %d} vs batched {%v %s %d}",
+				i, w.Quarantined, w.Reason, w.Died, g.Quarantined, g.Reason, g.Died)
+		}
+		if w.Quarantined {
+			quarantined++
+		}
+		if len(w.Predictions) != len(g.Predictions) {
+			t.Fatalf("request %d: %d vs %d predictions", i, len(w.Predictions), len(g.Predictions))
+		}
+		for d := range w.Predictions {
+			if math.Float64bits(w.Predictions[d]) != math.Float64bits(g.Predictions[d]) {
+				t.Fatalf("request %d day %d: %x vs %x (not bitwise identical)",
+					i, d, math.Float64bits(w.Predictions[d]), math.Float64bits(g.Predictions[d]))
+			}
+		}
+	}
+	if quarantined == 0 {
+		t.Fatal("request matrix produced no quarantined members; the property must cover the quarantine path")
+	}
+	// Batching must actually have happened for the property to mean
+	// anything: more members than kernel launches.
+	launches, members := batched.m.laneBatches.Load(), batched.m.laneMembers.Load()
+	if members != int64(len(reqs)) {
+		t.Fatalf("executor carried %d members, want %d", members, len(reqs))
+	}
+	if launches >= members {
+		t.Fatalf("no batching occurred: %d launches for %d members", launches, members)
+	}
+}
+
+// TestHotReloadDuringInflight hammers forecasts while the model file is
+// rewritten and reloaded concurrently — run under -race in make check.
+// In-flight requests pin their catalog entry, so every response must be
+// internally consistent (correct length, finite, version either old or
+// new) and no race or panic may occur.
+func TestHotReloadDuringInflight(t *testing.T) {
+	s, dir := newTestServer(t, func(c *Config) {
+		c.BatchWindow = time.Millisecond
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := &ForecastRequest{Days: 10, Params: map[string]float64{"CUA": 1.5 + 0.001*float64(w*100+i%50)}}
+				resp, code, err := s.Forecast(context.Background(), req)
+				if err != nil {
+					t.Errorf("worker %d: %s: %v", w, code, err)
+					return
+				}
+				if !resp.Quarantined && len(resp.Predictions) != 10 {
+					t.Errorf("worker %d: %d predictions", w, len(resp.Predictions))
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		writeBundle(t, dir, "champion", testBundle(t, fmt.Sprintf("v%d", i), 0.01*float64(i)))
+		if err := s.Reload(); err != nil {
+			t.Errorf("reload %d: %v", i, err)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Registry().Reloads(); got < 21 {
+		t.Fatalf("only %d reloads recorded", got)
+	}
+}
+
+func TestForecastAfterCloseIsRefused(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	s.Close()
+	if _, code, err := s.Forecast(context.Background(), &ForecastRequest{Days: 5}); err == nil || code != "draining" {
+		t.Fatalf("got code %q err %v, want draining", code, err)
+	}
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The HTTP surface (stdlib net/http only):
+//
+//	POST /v1/forecast  — run a forecast (ForecastRequest → ForecastResponse)
+//	GET  /v1/models    — catalog listing, rejected entries with reason codes
+//	POST /v1/reload    — rescan the model directory (also on SIGHUP)
+//	GET  /healthz      — liveness (process is up)
+//	GET  /readyz       — readiness (has a champion, not draining)
+//	GET  /metrics      — Prometheus text exposition
+//
+// Every request runs behind panic isolation: a handler panic answers 500
+// for that request and the daemon keeps serving.
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// statusFor maps Forecast outcome codes to HTTP statuses.
+func statusFor(code string) int {
+	switch code {
+	case "bad_request":
+		return http.StatusBadRequest
+	case "unknown_model", "unknown_station":
+		return http.StatusNotFound
+	case "shed":
+		return http.StatusTooManyRequests
+	case "draining":
+		return http.StatusServiceUnavailable
+	case "timeout":
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code string, err error) {
+	s.m.countRequest(code)
+	writeJSON(w, statusFor(code), errorBody{Error: err.Error(), Code: code})
+}
+
+// Handler returns the daemon's routing table wrapped in per-request panic
+// isolation.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/forecast", s.handleForecast)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.recoverMiddleware(mux)
+}
+
+// recoverMiddleware converts a handler panic into a 500 for that request
+// only — the serving analogue of the evaluation pipeline's per-individual
+// panic isolation (DESIGN.md §9).
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.m.panics.Add(1)
+				s.m.countRequest("panic")
+				// Best-effort: if the handler already wrote, this is a no-op
+				// on the status line and the client sees a truncated body.
+				writeJSON(w, http.StatusInternalServerError, errorBody{
+					Error: fmt.Sprintf("internal error: %v", p), Code: "panic",
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, "bad_request", fmt.Errorf("POST only"))
+		return
+	}
+	t0 := time.Now()
+	defer func() { s.m.latency.observe(time.Since(t0)) }()
+
+	var req ForecastRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, "bad_request", fmt.Errorf("invalid request body: %v", err))
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, "draining", errDraining)
+		return
+	}
+	spec, code, err := s.resolve(&req)
+	if err != nil {
+		s.writeError(w, code, err)
+		return
+	}
+	key := respKeyFor(&req, spec)
+	if body := s.respCache.get(key); body != nil {
+		s.m.countRequest("ok")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+	resp, code, err := s.execute(r.Context(), spec)
+	if err != nil {
+		s.writeError(w, code, err)
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, "internal", err)
+		return
+	}
+	body = append(body, '\n')
+	s.respCache.put(key, body)
+	if resp.Quarantined {
+		s.m.countRequest("quarantined")
+	} else {
+		s.m.countRequest("ok")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// modelInfo is the /v1/models wire form of a registry entry.
+type modelInfo struct {
+	ID          string  `json:"id"`
+	File        string  `json:"file"`
+	Version     string  `json:"version"`
+	Source      string  `json:"source,omitempty"`
+	Status      string  `json:"status"`
+	Reason      string  `json:"reason,omitempty"`
+	Detail      string  `json:"detail,omitempty"`
+	Name        string  `json:"name,omitempty"`
+	SavedAt     string  `json:"saved_at,omitempty"`
+	TrainRMSE   float64 `json:"train_rmse,omitempty"`
+	TestRMSE    float64 `json:"test_rmse,omitempty"`
+	ServingRMSE float64 `json:"serving_rmse,omitempty"`
+	PhyExpr     string  `json:"phy_expr,omitempty"`
+	ZooExpr     string  `json:"zoo_expr,omitempty"`
+	Champion    bool    `json:"champion,omitempty"`
+}
+
+type modelsBody struct {
+	CatalogVersion int         `json:"catalog_version"`
+	LoadedAt       string      `json:"loaded_at"`
+	Champion       string      `json:"champion,omitempty"`
+	Models         []modelInfo `json:"models"`
+}
+
+func (s *Server) modelsBody() modelsBody {
+	cat := s.reg.Catalog()
+	out := modelsBody{
+		CatalogVersion: cat.version,
+		LoadedAt:       cat.loadedAt.Format(time.RFC3339),
+		Champion:       cat.champion,
+		Models:         make([]modelInfo, 0, len(cat.order)),
+	}
+	for _, id := range cat.order {
+		m := cat.models[id]
+		info := modelInfo{
+			ID: m.ID, File: m.File, Version: m.Version, Source: m.Source,
+			Status: string(m.Status), Reason: m.Reason, Detail: m.Detail,
+			Name: m.Name, TrainRMSE: m.TrainRMSE, TestRMSE: m.TestRMSE,
+			ServingRMSE: m.ServingRMSE, PhyExpr: m.PhyExpr, ZooExpr: m.ZooExpr,
+			Champion: id == cat.champion,
+		}
+		if !m.SavedAt.IsZero() {
+			info.SavedAt = m.SavedAt.Format(time.RFC3339)
+		}
+		out.Models = append(out.Models, info)
+	}
+	return out
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, "bad_request", fmt.Errorf("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.modelsBody())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, "bad_request", fmt.Errorf("POST only"))
+		return
+	}
+	if err := s.Reload(); err != nil {
+		s.writeError(w, "internal", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.modelsBody())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case s.reg.Catalog().champion == "":
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no ready model")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}

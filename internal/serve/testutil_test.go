@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gmr/internal/bio"
+	"gmr/internal/core"
+	"gmr/internal/dataset"
+	"gmr/internal/gp"
+)
+
+// Shared fixtures: a small (3-year) synthetic dataset and deployable
+// bundles built from the unrevised baseline model (core.ManualIndividual
+// — the Table II α-tree with Table III means), so no evolution runs in
+// tests.
+
+var (
+	dsOnce sync.Once
+	dsVal  *dataset.Dataset
+	dsErr  error
+)
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		dsVal, dsErr = dataset.Generate(dataset.Config{
+			Seed: 3, StartYear: 2000, EndYear: 2002, TrainEndYear: 2001,
+		})
+	})
+	if dsErr != nil {
+		t.Fatalf("generate dataset: %v", dsErr)
+	}
+	return dsVal
+}
+
+// testConfigDigest is the digest a default test server computes (substeps
+// 2; initial biomasses are excluded from the digest by design).
+func testConfigDigest() string {
+	return ConfigDigest(bio.DefaultConstants(), dataset.ModelSimConfig(2, 0, 0))
+}
+
+// testBundle builds a deployable bundle of the baseline model. scale
+// perturbs the first parameter so distinct files hold distinct models
+// (and distinct serving RMSEs).
+func testBundle(t *testing.T, name string, scale float64) *gp.ModelBundle {
+	t.Helper()
+	ind, g, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		t.Fatalf("manual individual: %v", err)
+	}
+	if scale != 0 {
+		params := append([]float64(nil), ind.Params...)
+		params[0] *= 1 + scale
+		ind = gp.NewIndividual(ind.Deriv, params)
+	}
+	b, err := gp.NewBundle(ind, g, name, testConfigDigest())
+	if err != nil {
+		t.Fatalf("new bundle: %v", err)
+	}
+	return b
+}
+
+// writeBundle serializes a bundle into dir as id.json, after applying any
+// mutators (used to corrupt fingerprints for rejection tests).
+func writeBundle(t *testing.T, dir, id string, b *gp.ModelBundle, mutate ...func(*gp.ModelBundle)) string {
+	t.Helper()
+	for _, m := range mutate {
+		m(b)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatalf("write bundle: %v", err)
+	}
+	path := filepath.Join(dir, id+".json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	return path
+}
+
+// newTestServer builds a server over a fresh temp model directory holding
+// one good bundle, with the response cache disabled by default so
+// execution tests measure the executor, not the cache. Returns the server
+// and the model directory; the server is closed on test cleanup.
+func newTestServer(t *testing.T, mod func(*Config)) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	writeBundle(t, dir, "champion", testBundle(t, "champion", 0))
+	cfg := Config{
+		Dataset:   testDataset(t),
+		ModelsDir: dir,
+		CacheSize: -1,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, dir
+}
