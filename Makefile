@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz chaos bench bench-smoke bencheval bench-diff servebench serve-smoke check clean
+.PHONY: all build vet test race fuzz chaos bench bench-smoke bencheval bench-diff servebench serve-smoke cover-obs check clean
 
 all: check
 
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -fuzz FuzzRegisterVMVsTreeEval -fuzztime $(FUZZTIME) ./internal/expr/
 	$(GO) test -fuzz FuzzLaneKernelVsScalar -fuzztime $(FUZZTIME) ./internal/bio/
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/gp/
+	$(GO) test -fuzz FuzzPromExposition -fuzztime $(FUZZTIME) ./internal/obs/
 
 # chaos runs the fault-injection suite (injected panics, NaN poison,
 # checkpoint truncation, resume-under-faults determinism) under the race
@@ -79,7 +80,19 @@ servebench:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count 1 ./cmd/gmrd/
 
-check: build vet test race chaos fuzz serve-smoke
+# cover-obs enforces the coverage floor on the observability subsystem:
+# the registry/tracer/exposition package must stay ≥85% covered (it is
+# the single source of truth for every metric the system reports, so an
+# untested branch there silently corrupts all telemetry). Prints the
+# per-function summary into the CI job log.
+cover-obs:
+	$(GO) test -coverprofile /tmp/obs.cover.out ./internal/obs/
+	$(GO) tool cover -func /tmp/obs.cover.out
+	@total=$$($(GO) tool cover -func /tmp/obs.cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	awk -v t="$$total" 'BEGIN { if (t+0 < 85) { printf "internal/obs coverage %.1f%% is below the 85%% floor\n", t; exit 1 } \
+		printf "internal/obs coverage %.1f%% (floor 85%%)\n", t }'
+
+check: build vet test race chaos fuzz serve-smoke cover-obs
 
 clean:
 	$(GO) clean ./...

@@ -4,7 +4,14 @@
 //	gmr [-data nakdong.csv] [-pop 150] [-gens 60] [-runs 2] [-seed 1]
 //	gmr -islands 4 [-migrate-every 5] [-migrants 2] \
 //	    [-checkpoint run.ckpt] [-resume] [-telemetry run.jsonl] \
-//	    [-faults "seed=42,panic:0.01,nan:0.01"] [-eval-deadline 2s]
+//	    [-faults "seed=42,panic:0.01,nan:0.01"] [-eval-deadline 2s] \
+//	    [-metrics-addr :9090] [-slow-span 100ms]
+//
+// -metrics-addr serves the unified observability plane while the run
+// executes: /metrics (Prometheus text exposition of per-run or per-island
+// progress and evaluator counters), /debug/spans (phase span ring), and
+// /debug/pprof (runtime profiles). In islands mode the JSONL telemetry
+// additionally carries per-generation registry snapshots ("obs" records).
 //
 // Without -data, a synthetic Nakdong dataset is generated (seed 7). The
 // output reports train/test accuracy, the revised differential equations,
@@ -30,9 +37,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"gmr/internal/bio"
 	"gmr/internal/core"
@@ -41,6 +51,7 @@ import (
 	"gmr/internal/faultinject"
 	"gmr/internal/gp"
 	"gmr/internal/grammar"
+	"gmr/internal/obs"
 	"gmr/internal/report"
 	"gmr/internal/serve"
 )
@@ -69,6 +80,9 @@ func main() {
 
 		faultSpec = flag.String("faults", "", `chaos-testing fault spec, e.g. "seed=42,panic:0.01,nan:0.01,latency:0.005:2ms,trunc:0.1" (empty disables)`)
 		deadline  = flag.Duration("eval-deadline", 0, "per-evaluation wall-clock deadline (0 disables; breaks bitwise determinism)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/spans, and /debug/pprof on this address while the run executes (empty disables)")
+		slowSpan    = flag.Duration("slow-span", 0, "log phase spans slower than this threshold (0 disables; requires -metrics-addr)")
 	)
 	flag.Parse()
 
@@ -115,6 +129,39 @@ func main() {
 		Eval: eval,
 		Runs: *runs,
 		TopK: 50,
+	}
+
+	// -metrics-addr turns on the unified observability plane for the run:
+	// a registry fed by engine progress gauges and evaluator counters, a
+	// span tracer threaded through every layer, and one HTTP listener
+	// exposing /metrics (Prometheus text), /debug/spans, and /debug/pprof.
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(obs.TracerConfig{
+			Ring:          512,
+			SlowThreshold: *slowSpan,
+			SlowLog: func(rec obs.SpanRecord) {
+				fmt.Fprintf(os.Stderr, "gmr: slow span %s: %s\n", rec.Name, rec.Dur)
+			},
+		})
+		tracer.RegisterMetrics(reg)
+		cfg.Obs = reg
+		cfg.Tracer = tracer
+
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		obs.Mount(mux, reg, tracer)
+		hs := &http.Server{Handler: mux}
+		go hs.Serve(ln)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			hs.Shutdown(sctx)
+			cancel()
+		}()
+		fmt.Printf("metrics on http://%s/metrics (spans: /debug/spans, profiles: /debug/pprof)\n", ln.Addr())
 	}
 
 	var res *core.Result

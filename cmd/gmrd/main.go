@@ -9,7 +9,8 @@
 //	    [-request-timeout 10s] [-drain-timeout 10s]
 //
 // Endpoints: POST /v1/forecast, GET /v1/models, POST /v1/reload,
-// GET /healthz, GET /readyz, GET /metrics (Prometheus text).
+// GET /healthz, GET /readyz, GET /metrics (Prometheus text),
+// GET /debug/spans (span ring), GET /debug/pprof/* (runtime profiles).
 //
 // SIGHUP rescans the model directory and hot-swaps the catalog without
 // dropping in-flight requests. SIGINT/SIGTERM drain gracefully: readiness
@@ -25,12 +26,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"gmr/internal/dataset"
+	"gmr/internal/obs"
 	"gmr/internal/serve"
 )
 
@@ -67,6 +70,9 @@ func runServe(ctx context.Context, args []string, out io.Writer, announce func(a
 		planCache  = fs.Int("plan-cache", 128, "exogenous-plan cache entries (negative disables)")
 		reqTimeout = fs.Duration("request-timeout", 10*time.Second, "end-to-end forecast deadline, queueing included")
 		drainFor   = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+
+		spanRing = fs.Int("span-ring", 512, "span tracer ring size (0 disables tracing)")
+		slowSpan = fs.Duration("slow-span", 0, "log serving-path spans slower than this threshold (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +98,24 @@ func runServe(ctx context.Context, args []string, out io.Writer, announce func(a
 		return err
 	}
 
+	// The daemon owns one obs registry and span tracer for its whole life:
+	// the server publishes the serving families on it, and the handler mux
+	// below adds /debug/spans and /debug/pprof next to /metrics. The
+	// registry outliving the server is what keeps hot reloads and restarts
+	// single-owner (registration is get-or-create).
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *spanRing > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Ring:          *spanRing,
+			SlowThreshold: *slowSpan,
+			SlowLog: func(rec obs.SpanRecord) {
+				fmt.Fprintf(out, "gmrd: slow span %s: %s\n", rec.Name, rec.Dur)
+			},
+		})
+		tracer.RegisterMetrics(reg)
+	}
+
 	cfg := serve.Config{
 		Dataset:        ds,
 		SubSteps:       *subSteps,
@@ -103,6 +127,8 @@ func runServe(ctx context.Context, args []string, out io.Writer, announce func(a
 		CacheSize:      *cacheSize,
 		PlanCacheSize:  *planCache,
 		RequestTimeout: *reqTimeout,
+		Obs:            reg,
+		Tracer:         tracer,
 	}
 	if *nobatch {
 		cfg.MaxBatch = 1
@@ -140,7 +166,17 @@ func runServe(ctx context.Context, args []string, out io.Writer, announce func(a
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	hs := &http.Server{Handler: s.Handler()}
+	// The serve handler already exposes /metrics off the shared registry;
+	// wrap it in a mux that adds the debug endpoints alongside.
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("/debug/spans", tracer)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

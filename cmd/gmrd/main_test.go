@@ -16,6 +16,7 @@ import (
 	"gmr/internal/core"
 	"gmr/internal/dataset"
 	"gmr/internal/gp"
+	"gmr/internal/obs"
 	"gmr/internal/serve"
 )
 
@@ -95,6 +96,47 @@ func TestServeSmoke(t *testing.T) {
 	for i, p := range fr.Predictions {
 		if math.IsNaN(p) || math.IsInf(p, 0) {
 			t.Fatalf("prediction %d is non-finite: %v", i, p)
+		}
+	}
+
+	// Observability endpoints: /metrics validates as a Prometheus text
+	// exposition and reflects the forecast just served; /debug/spans and
+	// /debug/pprof/ answer off the same listener.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := obs.ValidateExposition(expo); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, expo)
+	}
+	for _, series := range []string{
+		`gmr_serve_requests_total{code="ok"} 1`,
+		"gmr_obs_spans_recorded_total",
+	} {
+		if !bytes.Contains(expo, []byte(series)) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+	for _, path := range []string{"/debug/spans", "/debug/pprof/"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, rb)
+		}
+		if path == "/debug/spans" {
+			var spans []obs.SpanRecord
+			if err := json.Unmarshal(rb, &spans); err != nil {
+				t.Fatalf("/debug/spans body %q: %v", rb, err)
+			}
+			if len(spans) == 0 {
+				t.Error("no spans recorded on the serving path")
+			}
 		}
 	}
 

@@ -15,6 +15,7 @@ import (
 	"gmr/internal/expr"
 	"gmr/internal/gp"
 	"gmr/internal/grammar"
+	obspkg "gmr/internal/obs"
 )
 
 // benchEvalResult is one benchmark row of the BENCH_EVAL.json snapshot.
@@ -343,6 +344,43 @@ func benchEvalPass(ds *dataset.Dataset) []benchEvalResult {
 		for i := 0; i < b.N; i++ {
 			seg.Prologue(params, &sc)
 			seg.Kernel(plan, simCfg, &sc, nil)
+		}
+	}))
+
+	// Observability overhead guards: the instrumentation added to the hot
+	// paths above must stay at 0 allocs/op — the bench-diff comparator
+	// treats any allocs/op increase as a hard failure, so these rows pin
+	// the registry counter, the histogram, and both tracer states.
+	record("obs_counter_inc", testing.Benchmark(func(b *testing.B) {
+		c := obspkg.NewRegistry().Counter("bench_total", "", nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	}))
+	record("obs_histogram_observe", testing.Benchmark(func(b *testing.B) {
+		h := obspkg.NewRegistry().Histogram("bench_seconds", "", nil, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%7) * 0.001)
+		}
+	}))
+	record("obs_tracer_disabled", testing.Benchmark(func(b *testing.B) {
+		var tr *obspkg.Tracer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Start("bench.span").End()
+		}
+	}))
+	record("obs_tracer_enabled", testing.Benchmark(func(b *testing.B) {
+		tr := obspkg.NewTracer(obspkg.TracerConfig{Ring: 256})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Start("bench.span").End()
 		}
 	}))
 

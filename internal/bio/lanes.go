@@ -80,6 +80,7 @@ func (s *SegSystem) KernelLanes(plan *ExogPlan, cfg SimConfig, sc *SimScratch, n
 	// unperturbed; the freed tail slot keeps computing stale values that
 	// are never read.
 	drop := func(l int) {
+		sc.LaneDrops++
 		active--
 		if l != active {
 			prog.CopyLane(l, active, regs)

@@ -128,6 +128,14 @@ type SimScratch struct {
 	regsLanes  []float64
 	varsLanes  []float64
 	paramLanes [expr.Lanes][]float64
+
+	// LaneDrops counts lane compactions performed by KernelLanes: members
+	// swapped out mid-launch because they aborted (non-finite state) or
+	// were stopped by their hook (short circuit). It accumulates across
+	// launches that reuse this scratch; callers snapshot before/after a
+	// launch to attribute drops. A plain int — a SimScratch is owned by
+	// one goroutine at a time.
+	LaneDrops int
 }
 
 func growBuf(b []float64, n int) []float64 {

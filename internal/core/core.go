@@ -23,6 +23,7 @@ import (
 	"gmr/internal/gp"
 	"gmr/internal/grammar"
 	"gmr/internal/metrics"
+	"gmr/internal/obs"
 	"gmr/internal/orchestrator"
 	"gmr/internal/stats"
 	"gmr/internal/tag"
@@ -56,6 +57,16 @@ type Config struct {
 	// earlier calibration work). Zero means 3000; negative disables
 	// pre-calibration, starting from the Table III means instead.
 	PreCalibrateBudget int
+	// Obs, when non-nil, is the unified observability registry: runs
+	// register per-run (or per-island) engine progress gauges and
+	// evaluator counter families on it, scrapeable at /metrics while the
+	// search executes. Nil disables registration.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records phase spans across the stack (gp
+	// generation phases, evalx evaluator phases, orchestrator barriers).
+	// It is propagated to every engine and — unless Eval.Tracer is
+	// already set — to every evaluator.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +139,9 @@ func prepare(ds *dataset.Dataset, cfg Config) (*runSetup, error) {
 	evalOpts := cfg.Eval
 	evalOpts.Sim.Phy0 = ds.ObsPhy[0]
 	evalOpts.Sim.Zoo0 = ds.ObsZoo[0]
+	if evalOpts.Tracer == nil {
+		evalOpts.Tracer = cfg.Tracer
+	}
 
 	s := &runSetup{g: g, gpCfg: gpCfg, evalOpts: evalOpts}
 	// Pre-calibration of the unrevised process: each run starts from its
@@ -205,6 +219,7 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, 
 		ev := s.newEvaluator(ds, cfg)
 		runCfg := s.gpCfg
 		runCfg.Seed = s.gpCfg.Seed + int64(run)*1009
+		runCfg.Tracer = cfg.Tracer
 		runCfg = s.calibrate(run, runCfg)
 		runCfg.Hook = func(int, []*gp.Individual, *gp.Individual) error {
 			if ctx.Err() != nil {
@@ -216,6 +231,7 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, 
 		if err != nil {
 			return nil, err
 		}
+		registerRunObs(cfg.Obs, run, eng, ev)
 		r, err := eng.Run()
 		if err != nil {
 			return nil, err
@@ -287,6 +303,8 @@ func RunIslands(ctx context.Context, ds *dataset.Dataset, cfg Config, opts Islan
 		CheckpointEvery: opts.CheckpointEvery,
 		Telemetry:       opts.Telemetry,
 		Faults:          opts.Faults,
+		Obs:             cfg.Obs,
+		Tracer:          cfg.Tracer,
 	}
 	if !opts.Resume {
 		// Pre-calibrate each island's starting parameters. Skipped on
@@ -569,4 +587,25 @@ func ManualIndividual(cfg Config) (*gp.Individual, *tag.Grammar, error) {
 	}
 	root := &tag.DerivNode{Elem: g.Alphas[0]}
 	return gp.NewIndividual(root, bio.Means(cfg.Constants)), g, nil
+}
+
+// registerRunObs publishes run-scoped observability series for a
+// sequential run: the engine's barrier-consistent progress mirror and the
+// evaluator's counter family, labeled run="<idx>" so consecutive runs sit
+// side by side in one exposition. No-op without a registry.
+func registerRunObs(r *obs.Registry, run int, eng *gp.Engine, ev *evalx.Evaluator) {
+	if r == nil {
+		return
+	}
+	ls := obs.Labels{"run": fmt.Sprint(run)}
+	r.GaugeFunc("gmr_gp_generation",
+		"Completed generations (barrier-consistent).", ls,
+		func() float64 { return float64(eng.Progress().Gen) })
+	r.GaugeFunc("gmr_gp_best_fitness",
+		"Best-ever fitness (+Inf before any finite model).", ls,
+		func() float64 { return eng.Progress().Best })
+	r.CounterFunc("gmr_gp_evaluations_total",
+		"Cumulative fitness evaluations.", ls,
+		func() float64 { return float64(eng.Progress().Evaluations) })
+	ev.RegisterObs(r, "gmr_evalx", ls)
 }

@@ -45,6 +45,7 @@ import (
 	"gmr/internal/faultinject"
 	"gmr/internal/gp"
 	"gmr/internal/grammar"
+	"gmr/internal/obs"
 )
 
 // Extrapolate estimates the final fitness from the intermediate fitness
@@ -121,6 +122,12 @@ type Options struct {
 	// which forfeits the zero-allocation contract of the steady-state
 	// paths (riverbench flips this on together with -cpuprofile/-pprof).
 	ProfileLabels bool
+	// Tracer records evaluation-phase spans (evalx.exog_plan,
+	// evalx.prologue, evalx.step_kernel) at the same seams as the pprof
+	// labels. A nil tracer is the zero-cost disabled path (no clock
+	// reads, no allocations); an enabled tracer samples and ring-buffers
+	// spans (see internal/obs).
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -215,6 +222,7 @@ type Stats struct {
 	LaneBatches       int // KernelLanes launches
 	LanesFilled       int // members carried by those launches (Σ chunk sizes)
 	LaneShortCircuits int // short circuits decided on the lane path
+	LaneCompactions   int // lanes compacted away mid-launch (aborts + early stops)
 
 	// Quarantine counters, by reason code (simulations aborted with +Inf
 	// fitness rather than a measured RMSE).
@@ -248,6 +256,7 @@ func (s *Stats) Add(o Stats) {
 	s.LaneBatches += o.LaneBatches
 	s.LanesFilled += o.LanesFilled
 	s.LaneShortCircuits += o.LaneShortCircuits
+	s.LaneCompactions += o.LaneCompactions
 	s.QuarNaN += o.QuarNaN
 	s.QuarInf += o.QuarInf
 	s.QuarDeadline += o.QuarDeadline
@@ -274,6 +283,7 @@ type counters struct {
 	laneBatches    atomic.Int64
 	lanesFilled    atomic.Int64
 	laneShortCircs atomic.Int64
+	laneCompacts   atomic.Int64
 	quarantine     [numReasons]atomic.Int64
 }
 
@@ -296,6 +306,7 @@ func (c *counters) snapshot() Stats {
 		LaneBatches:       int(c.laneBatches.Load()),
 		LanesFilled:       int(c.lanesFilled.Load()),
 		LaneShortCircuits: int(c.laneShortCircs.Load()),
+		LaneCompactions:   int(c.laneCompacts.Load()),
 		QuarNaN:           int(c.quarantine[ReasonNaN].Load()),
 		QuarInf:           int(c.quarantine[ReasonInf].Load()),
 		QuarDeadline:      int(c.quarantine[ReasonDeadline].Load()),
@@ -321,6 +332,7 @@ func (c *counters) reset() {
 	c.laneBatches.Store(0)
 	c.lanesFilled.Store(0)
 	c.laneShortCircs.Store(0)
+	c.laneCompacts.Store(0)
 	for i := range c.quarantine {
 		c.quarantine[i].Store(0)
 	}
@@ -357,6 +369,10 @@ type Evaluator struct {
 	// label set per call, which would break the zero-allocation contract
 	// of the steady-state paths.
 	profLabels bool
+
+	// tracer records evaluation-phase spans at the pprof-label seams; a
+	// nil tracer costs one nil check per phase (see Options.Tracer).
+	tracer *obs.Tracer
 
 	// frozenBits is the short-circuiting reference for the current
 	// batch (math.Float64bits), written only at batch boundaries and
@@ -460,6 +476,7 @@ func New(forcing [][]float64, obs []float64, consts []bio.Constant, opts Options
 		bestPrevFull: math.Inf(1),
 		pendingBest:  math.Inf(1),
 		profLabels:   o.ProfileLabels,
+		tracer:       o.Tracer,
 	}
 	if o.Simplify {
 		e.keyTag = 's'
@@ -542,6 +559,7 @@ type Snapshot struct {
 	LaneBatches       int `json:"lane_batches"`
 	LanesFilled       int `json:"lanes_filled"`
 	LaneShortCircuits int `json:"lane_short_circuits"`
+	LaneCompactions   int `json:"lane_compactions"`
 
 	// Quarantine counters (omitted when zero, so fault-free streams keep
 	// their previous byte format).
@@ -577,6 +595,7 @@ func (e *Evaluator) Snapshot() Snapshot {
 		LaneBatches:       st.LaneBatches,
 		LanesFilled:       st.LanesFilled,
 		LaneShortCircuits: st.LaneShortCircuits,
+		LaneCompactions:   st.LaneCompactions,
 		QuarNaN:           st.QuarNaN,
 		QuarInf:           st.QuarInf,
 		QuarDeadline:      st.QuarDeadline,
@@ -867,6 +886,7 @@ func (e *Evaluator) evalParamBatchLanes(ent *structEntry, key string, paramSets 
 	}
 
 	plan := ent.plan // materialized above via planFor
+	dropsBefore := sc.sim.LaneDrops
 	for start := 0; start < len(pending); start += expr.Lanes {
 		end := start + expr.Lanes
 		if end > len(pending) {
@@ -880,6 +900,7 @@ func (e *Evaluator) evalParamBatchLanes(ent *structEntry, key string, paramSets 
 		sc.laneParams = ps
 		e.ctr.laneBatches.Add(1)
 		e.ctr.lanesFilled.Add(int64(len(chunk)))
+		span := e.tracer.Start("evalx.lane_batch")
 		if e.profLabels {
 			pprof.Do(context.Background(), pprof.Labels("eval_phase", "prologue"), func(context.Context) {
 				ent.seg.PrologueLanes(ps, &sc.sim)
@@ -891,7 +912,9 @@ func (e *Evaluator) evalParamBatchLanes(ent *structEntry, key string, paramSets 
 			ent.seg.PrologueLanes(ps, &sc.sim)
 			ent.seg.KernelLanes(plan, e.opts.Sim, &sc.sim, len(chunk), hook)
 		}
+		span.End()
 	}
+	e.ctr.laneCompacts.Add(int64(sc.sim.LaneDrops - dropsBefore))
 
 	for i := range pending {
 		lm := &pending[i]
@@ -1055,6 +1078,8 @@ func (e *Evaluator) buildEntry(phy, zoo *expr.Node) *structEntry {
 func (e *Evaluator) planFor(ent *structEntry) *bio.ExogPlan {
 	built := false
 	ent.planOnce.Do(func() {
+		span := e.tracer.Start("evalx.exog_plan")
+		defer span.End()
 		if e.profLabels {
 			pprof.Do(context.Background(), pprof.Labels("eval_phase", "exog-plan"), func(context.Context) {
 				ent.plan = ent.seg.BuildExogPlan(e.forcing)
@@ -1177,6 +1202,8 @@ func (e *Evaluator) simulate(ent *structEntry, params []float64, sc *evalScratch
 		// the tier-1.5 plan, the parameter prologue runs once, and only
 		// the state-dependent STEP segment runs per substep.
 		plan := e.planFor(ent)
+		span := e.tracer.Start("evalx.simulate")
+		defer span.End()
 		if e.profLabels {
 			pprof.Do(context.Background(), pprof.Labels("eval_phase", "prologue"), func(context.Context) {
 				ent.seg.Prologue(params, &sc.sim)

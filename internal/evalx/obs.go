@@ -1,0 +1,47 @@
+package evalx
+
+import "gmr/internal/obs"
+
+// RegisterObs publishes the evaluator's snapshot counters on an obs
+// registry as one scrape-time family: family{counter="...", extra
+// labels...}. The callbacks read the atomic counters at scrape time, so
+// the exposition always shows the live values without a copy step.
+//
+// Registration is idempotent by the registry's get-or-create contract:
+// when an evaluator is replaced (serve hot reload, a new training run)
+// re-registering the new evaluator over the same (family, labels)
+// replaces the callbacks in place. The registry stays the single owner
+// of the series and the exposition can never double-report a counter —
+// the historical failure mode of snapshot-copying exporters.
+func (e *Evaluator) RegisterObs(r *obs.Registry, family string, labels obs.Labels) {
+	if r == nil {
+		return
+	}
+	const help = "Evaluation-pipeline snapshot counters (DESIGN.md §9–11)."
+	reg := func(counter string, fn func(Snapshot) int) {
+		ls := obs.Labels{"counter": counter}
+		for k, v := range labels {
+			ls[k] = v
+		}
+		r.CounterFunc(family, help, ls, func() float64 { return float64(fn(e.Snapshot())) })
+	}
+	reg("evaluations", func(s Snapshot) int { return s.Evaluations })
+	reg("full_evals", func(s Snapshot) int { return s.FullEvals })
+	reg("short_circuits", func(s Snapshot) int { return s.ShortCircuits })
+	reg("tier1_hits", func(s Snapshot) int { return s.Tier1Hits })
+	reg("tier1_misses", func(s Snapshot) int { return s.Tier1Misses })
+	reg("tier2_hits", func(s Snapshot) int { return s.Tier2Hits })
+	reg("tier2_misses", func(s Snapshot) int { return s.Tier2Misses })
+	reg("derives", func(s Snapshot) int { return s.Derives })
+	reg("compiles", func(s Snapshot) int { return s.Compiles })
+	reg("exog_plan_builds", func(s Snapshot) int { return s.ExogPlanBuilds })
+	reg("exog_plan_hits", func(s Snapshot) int { return s.ExogPlanHits })
+	reg("lane_batches", func(s Snapshot) int { return s.LaneBatches })
+	reg("lanes_filled", func(s Snapshot) int { return s.LanesFilled })
+	reg("lane_short_circuits", func(s Snapshot) int { return s.LaneShortCircuits })
+	reg("lane_compactions", func(s Snapshot) int { return s.LaneCompactions })
+	reg("quar_nan", func(s Snapshot) int { return s.QuarNaN })
+	reg("quar_inf", func(s Snapshot) int { return s.QuarInf })
+	reg("quar_deadline", func(s Snapshot) int { return s.QuarDeadline })
+	reg("quar_bad_structure", func(s Snapshot) int { return s.QuarBadStructure })
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gmr/internal/obs"
 	"gmr/internal/stats"
 	"gmr/internal/tag"
 )
@@ -103,6 +104,11 @@ type Config struct {
 	// Callers that need full pause/checkpoint control should drive the
 	// engine through Start/StepGen/Snapshot instead.
 	Hook func(gen int, pop []*Individual, best *Individual) error `json:"-"`
+	// Tracer records per-generation phase spans (gp.variation,
+	// gp.evaluate, gp.refine_elite, gp.init_pop) on the unified
+	// observability plane. Nil disables tracing at zero cost; like Hook
+	// it is runtime wiring, not checkpointable configuration.
+	Tracer *obs.Tracer `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -213,6 +219,42 @@ type Engine struct {
 	// forced to +Inf). Observability only: it is not checkpoint state and
 	// restarts from zero on Restore.
 	quarantined atomic.Int64
+
+	// Progress mirror: gen/best/evaluations as atomics, written at
+	// generation barriers (Start, StepGen, ReplaceWorst, Restore) so
+	// metric scrapes from other goroutines never race the stepping
+	// goroutine's plain fields.
+	obsGen   atomic.Int64
+	obsBest  atomic.Uint64 // math.Float64bits; +Inf before any evaluation
+	obsEvals atomic.Int64
+}
+
+// Progress is a race-safe snapshot of the engine's externally observable
+// state, taken from atomics updated at generation barriers. Safe to call
+// from any goroutine, concurrently with StepGen.
+type Progress struct {
+	Gen         int
+	Best        float64 // best-ever fitness; +Inf before any evaluation
+	Evaluations int
+}
+
+// Progress returns the barrier-consistent progress snapshot.
+func (e *Engine) Progress() Progress {
+	return Progress{
+		Gen:         int(e.obsGen.Load()),
+		Best:        math.Float64frombits(e.obsBest.Load()),
+		Evaluations: int(e.obsEvals.Load()),
+	}
+}
+
+// noteProgress publishes the stepping goroutine's state to the atomic
+// mirror; called at every generation barrier.
+func (e *Engine) noteProgress() {
+	e.obsGen.Store(int64(e.gen))
+	if e.best != nil {
+		e.obsBest.Store(math.Float64bits(e.best.Fitness))
+	}
+	e.obsEvals.Store(int64(e.evaluations))
 }
 
 // evalJob is one unit of work for the evaluation worker pool: either a
@@ -329,7 +371,9 @@ func NewEngine(g *tag.Grammar, eval Evaluator, cfg Config) (*Engine, error) {
 	if cfg.PopSize < 2 {
 		return nil, fmt.Errorf("gp: population size %d too small", cfg.PopSize)
 	}
-	return &Engine{cfg: cfg, g: g, eval: eval, rng: stats.NewRNG(cfg.Seed)}, nil
+	e := &Engine{cfg: cfg, g: g, eval: eval, rng: stats.NewRNG(cfg.Seed)}
+	e.obsBest.Store(math.Float64bits(math.Inf(1)))
+	return e, nil
 }
 
 // initialParams draws a starting parameter vector.
@@ -396,6 +440,8 @@ func (e *Engine) Start() error {
 		return nil // resumed from a snapshot, or already started
 	}
 	cfg := e.cfg
+	span := cfg.Tracer.Start("gp.init_pop")
+	defer span.End()
 	pop := make([]*Individual, 0, cfg.PopSize)
 	for _, seed := range cfg.SeedIndividuals {
 		if len(pop) < cfg.PopSize {
@@ -415,6 +461,7 @@ func (e *Engine) Start() error {
 	e.gen = 0
 	e.best = pop[0].Clone()
 	e.history = []GenStats{e.genStats(0, pop)}
+	e.noteProgress()
 	return nil
 }
 
@@ -428,6 +475,7 @@ func (e *Engine) StepGen() error {
 	cfg := e.cfg
 	pop := e.pop
 	gen := e.gen + 1
+	span := cfg.Tracer.Start("gp.variation")
 	next := make([]*Individual, 0, cfg.PopSize)
 	for i := 0; i < cfg.EliteSize && i < len(pop); i++ {
 		next = append(next, pop[i].Clone())
@@ -456,13 +504,18 @@ func (e *Engine) StepGen() error {
 			fresh = append(fresh, sel().Clone())
 		}
 	}
+	span.End()
 	// Evaluate offspring, then run local search on each (both
 	// inside one parallel phase with per-individual RNG streams).
+	span = cfg.Tracer.Start("gp.evaluate")
 	e.evaluatePop(fresh, e.localSearch)
+	span.End()
 	next = append(next, fresh...)
 	pop = next
 	sortByFitness(pop)
+	span = cfg.Tracer.Start("gp.refine_elite")
 	e.refineElite(pop[0], sigma)
+	span.End()
 	sortByFitness(pop)
 	if pop[0].Fitness < e.best.Fitness {
 		e.best = pop[0].Clone()
@@ -470,6 +523,7 @@ func (e *Engine) StepGen() error {
 	e.pop = pop
 	e.gen = gen
 	e.history = append(e.history, e.genStats(gen, pop))
+	e.noteProgress()
 	return nil
 }
 
@@ -540,6 +594,7 @@ func (e *Engine) ReplaceWorst(migrants []*Individual) int {
 	if e.best == nil || e.pop[0].Fitness < e.best.Fitness {
 		e.best = e.pop[0].Clone()
 	}
+	e.noteProgress()
 	return n
 }
 

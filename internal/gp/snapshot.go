@@ -107,6 +107,7 @@ func (e *Engine) Restore(snap *EngineSnapshot) error {
 	e.evaluations = snap.Evaluations
 	e.best = best
 	e.history = append([]GenStats(nil), snap.History...)
+	e.noteProgress()
 	return nil
 }
 

@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// sanitizeName maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: invalid bytes become '_', a leading
+// digit is prefixed, and the empty string becomes "_".
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok && b == nil {
+			continue
+		}
+		if b == nil {
+			b = []byte(s[:i])
+			if c >= '0' && c <= '9' { // leading digit
+				b = append(b, '_')
+				ok = true
+			}
+		}
+		if ok {
+			b = append(b, c)
+		} else {
+			b = append(b, '_')
+		}
+	}
+	if b == nil {
+		return s
+	}
+	return string(b)
+}
+
+// sanitizeLabelKey maps onto the label-name alphabet
+// [a-zA-Z_][a-zA-Z0-9_]* (no colons, unlike metric names).
+func sanitizeLabelKey(s string) string {
+	k := strings.ReplaceAll(sanitizeName(s), ":", "_")
+	if k[0] >= '0' && k[0] <= '9' {
+		k = "_" + k
+	}
+	return k
+}
+
+// escapeLabelValue escapes a label value for the text exposition:
+// backslash, double-quote, and newline must be escaped; everything else
+// passes through verbatim.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders a label set in sorted-key order as
+// `k1="v1",k2="v2"`. Keys are sanitized and values escaped here, once,
+// at registration time; duplicate post-sanitization keys keep the last
+// value in sort order.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels))
+	for k, v := range labels {
+		kvs = append(kvs, kv{sanitizeLabelKey(k), escapeLabelValue(v)})
+	}
+	for i := range kvs {
+		for j := i + 1; j < len(kvs); j++ {
+			if kvs[j].k < kvs[i].k || (kvs[j].k == kvs[i].k && kvs[j].v < kvs[i].v) {
+				kvs[i], kvs[j] = kvs[j], kvs[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 && p.k == kvs[i-1].k {
+			continue // collision after sanitization: keep first in sort order
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only, per the
+// text format).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label set, each family with one HELP (when set) and one TYPE line.
+// Histograms expand to cumulative `_bucket{le=...}` lines plus `_sum`
+// and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.sortedSeries() {
+			if f.typ == TypeHistogram {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			if s.labels == "" {
+				fmt.Fprintf(bw, "%s %s\n", f.name, formatSample(s.value()))
+			} else {
+				fmt.Fprintf(bw, "%s{%s} %s\n", f.name, s.labels, formatSample(s.value()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket/sum/count lines for one
+// histogram series, merging the series labels with the `le` label.
+func writeHistogram(w io.Writer, name string, s *series) {
+	h := s.hist
+	prefix := "{"
+	if s.labels != "" {
+		prefix = "{" + s.labels + ","
+	}
+	cum := int64(0)
+	for i, ub := range h.uppers {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%sle=\"%s\"} %d\n", name, prefix, formatSample(ub), cum)
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, prefix, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels2(), formatSample(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels2(), h.Count())
+}
+
+// labels2 renders the series label block (including braces) or "".
+func (s *series) labels2() string {
+	if s.labels == "" {
+		return ""
+	}
+	return "{" + s.labels + "}"
+}
+
+// ValidateExposition checks that b parses as Prometheus text exposition:
+// every line is a well-formed comment or sample, metric and label names
+// are in the legal alphabets, label values are properly quoted and
+// escaped, sample values parse as floats, each family declares TYPE at
+// most once, and no exact series line repeats. It is the oracle for
+// FuzzPromExposition and the reload double-report regression test.
+func ValidateExposition(b []byte) error {
+	typeSeen := make(map[string]bool)
+	lineSeen := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typeSeen); err != nil {
+				return fmt.Errorf("line %d: %w: %q", n, err, line)
+			}
+			continue
+		}
+		if lineSeen[line] {
+			return fmt.Errorf("line %d: duplicate series line (double-report): %q", n, line)
+		}
+		lineSeen[line] = true
+		if err := validateSample(line); err != nil {
+			return fmt.Errorf("line %d: %w: %q", n, err, line)
+		}
+	}
+	return sc.Err()
+}
+
+func validateComment(line string, typeSeen map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return fmt.Errorf("malformed comment")
+	}
+	if !validName(fields[2], true) {
+		return fmt.Errorf("bad metric name in comment")
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line")
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+		if typeSeen[fields[2]] {
+			return fmt.Errorf("family %q declared twice (double-report)", fields[2])
+		}
+		typeSeen[fields[2]] = true
+	}
+	return nil
+}
+
+// validName reports whether s is a legal metric name (colons allowed) or
+// label name (colons disallowed).
+func validName(s string, colons bool) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':':
+			if !colons {
+				return false
+			}
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validateSample parses one sample line: name[{labels}] value.
+func validateSample(line string) error {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	if !validName(line[:i], true) {
+		return fmt.Errorf("bad metric name")
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = validateLabelBlock(rest)
+		if err != nil {
+			return err
+		}
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return fmt.Errorf("missing value separator")
+	}
+	val := strings.TrimPrefix(rest, " ")
+	if val == "" || strings.ContainsAny(val, " \t") {
+		// A second field would be a timestamp; this writer never emits
+		// them, so reject to keep the oracle strict.
+		return fmt.Errorf("malformed value field")
+	}
+	if _, err := strconv.ParseFloat(val, 64); err != nil {
+		return fmt.Errorf("unparseable value: %v", err)
+	}
+	return nil
+}
+
+// validateLabelBlock consumes a `{k="v",...}` block and returns the
+// remainder of the line.
+func validateLabelBlock(s string) (string, error) {
+	s = s[1:] // consume '{'
+	for {
+		j := strings.IndexByte(s, '=')
+		if j < 0 {
+			return "", fmt.Errorf("label missing '='")
+		}
+		if !validName(s[:j], false) {
+			return "", fmt.Errorf("bad label name %q", s[:j])
+		}
+		s = s[j+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return "", fmt.Errorf("label value not quoted")
+		}
+		s = s[1:]
+		// Scan the escaped value.
+		k := 0
+		for {
+			if k >= len(s) {
+				return "", fmt.Errorf("unterminated label value")
+			}
+			if s[k] == '\\' {
+				if k+1 >= len(s) {
+					return "", fmt.Errorf("dangling escape")
+				}
+				switch s[k+1] {
+				case '\\', '"', 'n':
+				default:
+					return "", fmt.Errorf("illegal escape \\%c", s[k+1])
+				}
+				k += 2
+				continue
+			}
+			if s[k] == '"' {
+				break
+			}
+			k++
+		}
+		s = s[k+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		return "", fmt.Errorf("expected ',' or '}' after label")
+	}
+}

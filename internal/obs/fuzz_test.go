@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzPromExposition drives arbitrary metric names, label keys/values,
+// help text, and sample values through registration and the exposition
+// writer, then checks the output against the line-format validator:
+// whatever garbage goes in, the rendered exposition must stay
+// well-formed (sanitized names, escaped label values, parseable floats,
+// no duplicate families or series).
+func FuzzPromExposition(f *testing.F) {
+	f.Add("gmr_serve_requests_total", "code", "ok", "Requests by status.", 5.0)
+	f.Add("", "", "", "", 0.0)
+	f.Add("9leading", "2key", "va\"l\\ue\nx", "he\nlp", -1.5)
+	f.Add("name with spaces", "k", `multi
+line"and\slash`, `\`, 1e-9)
+	f.Add("dup", "le", "0.5", "", math.Inf(1))
+	f.Add("x_total", "k", strings.Repeat("v", 300), "h", math.NaN())
+	f.Add("колонка", "ключ", "значение", "помощь", 3.14)
+
+	f.Fuzz(func(t *testing.T, name, lkey, lval, help string, v float64) {
+		r := NewRegistry()
+		labels := Labels{lkey: lval}
+		c := r.Counter(name, help, labels)
+		c.Add(int64(math.Abs(math.Mod(v, 1e6))))
+		// A second registration with the same inputs must dedupe onto
+		// the same series, never duplicate the family.
+		if again := r.Counter(name, help, labels); again != c {
+			t.Fatal("get-or-create broke under fuzzed names")
+		}
+		r.Gauge(name+"_g", help, labels).Set(v)
+		r.Histogram(name+"_h", help, []float64{0.1, 1}, labels).Observe(v)
+		r.GaugeFunc(name+"_fn", help, nil, func() float64 { return v })
+
+		var out bytes.Buffer
+		if err := r.WritePrometheus(&out); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := ValidateExposition(out.Bytes()); err != nil {
+			t.Fatalf("invalid exposition for name=%q key=%q val=%q v=%v: %v\n%s",
+				name, lkey, lval, v, err, out.String())
+		}
+		// Snapshot must agree with itself across calls (determinism).
+		s1, s2 := r.Snapshot(), r.Snapshot()
+		if len(s1) != len(s2) {
+			t.Fatalf("snapshot nondeterministic: %d vs %d entries", len(s1), len(s2))
+		}
+	})
+}

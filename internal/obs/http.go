@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mount attaches the observability endpoints to mux:
+//
+//	/metrics       — Prometheus text exposition of r (0.0.4)
+//	/debug/spans   — JSON dump of the tracer's span ring (oldest first)
+//	/debug/pprof/* — the standard runtime profiles (net/http/pprof)
+//
+// Both gmr -metrics-addr and the gmrd daemon expose this same layout, so
+// one scrape config and one profiling workflow cover training and serving.
+// r must be non-nil; t may be nil (the spans endpoint then serves "[]").
+func Mount(mux *http.ServeMux, r *Registry, t *Tracer) {
+	mux.Handle("/metrics", r)
+	mux.Handle("/debug/spans", t)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,307 @@
+// Package obs is the unified observability plane: a stdlib-only metrics
+// registry (counters, gauges, histograms) plus a lightweight span tracer
+// (trace.go). It is the single source of truth for runtime telemetry
+// across training (gmr), the island orchestrator, and the serving daemon
+// (gmrd) — one Prometheus-text exposition covers all of them
+// (DESIGN.md §13).
+//
+// Hot paths are allocation-free and lock-free: Counter.Inc/Add,
+// Gauge.Set, and Histogram.Observe are single atomic operations (a short
+// CAS loop for float accumulation). Registration takes a lock and may
+// allocate; callers register once and hold the returned handle.
+//
+// Registration is get-or-create keyed on (family name, label set): asking
+// twice for the same series returns the same handle, and re-registering a
+// Func series replaces its callback. That idempotence is what makes the
+// registry safe as a single owner — components that restart or reload
+// (e.g. the serve catalog swapping evaluators) re-register over the same
+// series instead of accumulating duplicates in the exposition.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is an immutable-by-convention label set attached to a series at
+// registration time. A nil map means no labels.
+type Labels map[string]string
+
+// MetricType enumerates the exposition TYPE of a family.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// DefBuckets is the default histogram bucket layout: latency-shaped
+// boundaries in seconds, matching the serving-path histogram that
+// predates the registry.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// Counter is a monotonically increasing metric. Inc and Add are
+// lock-free and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored to preserve monotonicity).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Stored as float64 bits so
+// Set/Value are single atomic word operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta via a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is lock-free
+// and allocation-free: one atomic add for the bucket, one for the count,
+// and a CAS loop for the float sum.
+type Histogram struct {
+	uppers []float64      // bucket upper bounds, ascending
+	counts []atomic.Int64 // len(uppers)+1; last is the +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.uppers) && v > h.uppers[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// series is one (family, labels) sample stream.
+type series struct {
+	labels string // rendered, sorted: `k="v",k2="v2"`; "" when unlabeled
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+	fn     func() float64 // scrape-time callback (counter or gauge families)
+}
+
+// family is a named metric with one or more label-distinguished series.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	buckets []float64
+	series  map[string]*series
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu  sync.RWMutex
+	fam map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fam: make(map[string]*family)}
+}
+
+// lookup returns (creating if needed) the family and series slot for
+// (name, labels). It panics when the same family name is re-registered
+// with a different type — that is a programming error that would corrupt
+// the exposition.
+func (r *Registry) lookup(name, help string, typ MetricType, buckets []float64, labels Labels) *series {
+	name = sanitizeName(name)
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: make(map[string]*series)}
+		r.fam[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: family %q registered as %s, re-requested as %s", name, f.typ, typ))
+	}
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		switch typ {
+		case TypeCounter:
+			s.ctr = &Counter{}
+		case TypeGauge:
+			s.gauge = &Gauge{}
+		case TypeHistogram:
+			h := &Histogram{uppers: f.buckets}
+			h.counts = make([]atomic.Int64, len(f.buckets)+1)
+			s.hist = h
+		}
+		f.series[ls] = s
+	}
+	return s
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use. Subsequent calls with the same name and labels return the
+// same handle.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, TypeCounter, nil, labels).ctr
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, TypeGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram series for (name, labels) with the
+// given bucket upper bounds (nil = DefBuckets). Buckets are fixed at
+// family creation; later calls reuse the existing layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.lookup(name, help, TypeHistogram, buckets, labels).hist
+}
+
+// CounterFunc registers (or replaces) a scrape-time callback series
+// exposed with counter semantics. The callback must be safe for
+// concurrent use and cheap: it runs on every scrape and snapshot.
+// Re-registering the same (name, labels) replaces the callback — last
+// owner wins — so reloaded components never double-report.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.lookup(name, help, TypeCounter, nil, labels).fn = fn
+}
+
+// GaugeFunc registers (or replaces) a scrape-time gauge callback series.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.lookup(name, help, TypeGauge, nil, labels).fn = fn
+}
+
+// value returns the scalar value of a non-histogram series.
+func (s *series) value() float64 {
+	switch {
+	case s.fn != nil:
+		return s.fn()
+	case s.ctr != nil:
+		return float64(s.ctr.Value())
+	case s.gauge != nil:
+		return s.gauge.Value()
+	}
+	return 0
+}
+
+// sortedFamilies returns families sorted by name, each with its series
+// keys sorted, under the read lock.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fams := make([]*family, 0, len(r.fam))
+	for _, f := range r.fam {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns a family's series sorted by rendered label set.
+func (f *family) sortedSeries() []*series {
+	ss := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ss = append(ss, s)
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+	return ss
+}
+
+// Snapshot returns a flat map of every sample the exposition would
+// publish, keyed `name` or `name{labels}`; histograms contribute
+// `name_count` and `name_sum` entries. The map is suitable for JSONL
+// emission (encoding/json sorts keys, so repeated snapshots of the same
+// state serialize identically).
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			key := f.name
+			if s.labels != "" {
+				key += "{" + s.labels + "}"
+			}
+			if f.typ == TypeHistogram {
+				out[key+"_count"] = float64(s.hist.Count())
+				out[key+"_sum"] = s.hist.Sum()
+			} else {
+				out[key] = s.value()
+			}
+		}
+	}
+	return out
+}
+
+// ServeHTTP makes the registry an http.Handler serving the Prometheus
+// text exposition, so `mux.Handle("/metrics", reg)` is all a binary
+// needs.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}
+
+// formatSample renders a sample value: integers without an exponent,
+// everything else via the shortest round-trip float form. NaN and ±Inf
+// render in the forms the Prometheus text format accepts.
+func formatSample(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", Labels{"code": "ok"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", "requests", Labels{"code": "ok"}); again != c {
+		t.Fatal("get-or-create returned a different counter handle")
+	}
+
+	g := r.Gauge("depth", "", nil)
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %v, want 2.25", got)
+	}
+
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-12 {
+		t.Fatalf("hist sum = %v", h.Sum())
+	}
+
+	var out bytes.Buffer
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{code="ok"} 5`,
+		"depth 2.25",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_sum 5.555",
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	if err := ValidateExposition(out.Bytes()); err != nil {
+		t.Fatalf("self-exposition invalid: %v\n%s", err, text)
+	}
+}
+
+func TestFuncSeriesReplaceOnReregister(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("evals_total", "", nil, func() float64 { return 10 })
+	// A reloaded component re-registers over the same series: the
+	// callback is replaced, not duplicated — the single-owner dedupe
+	// contract.
+	r.CounterFunc("evals_total", "", nil, func() float64 { return 42 })
+	snap := r.Snapshot()
+	if snap["evals_total"] != 42 {
+		t.Fatalf("func series = %v, want 42 (last registration wins)", snap["evals_total"])
+	}
+	var out bytes.Buffer
+	r.WritePrometheus(&out)
+	if n := strings.Count(out.String(), "evals_total"); n != 2 { // TYPE line + one sample
+		t.Fatalf("series duplicated in exposition (%d mentions):\n%s", n, out.String())
+	}
+	if err := ValidateExposition(out.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a family with a different type did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "", nil)
+	r.Gauge("x_total", "", nil)
+}
+
+func TestLabeledHistogramAndSort(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1}, Labels{"k": "b"}).Observe(0.5)
+	r.Histogram("h", "", []float64{1}, Labels{"k": "a"}).Observe(2)
+	r.Counter("a_first", "", nil).Inc()
+	var out bytes.Buffer
+	r.WritePrometheus(&out)
+	text := out.String()
+	// Families sorted by name, series by label set.
+	if ai, hi := strings.Index(text, "a_first"), strings.Index(text, "# TYPE h "); ai > hi {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+	wantA := `h_bucket{k="a",le="1"} 0`
+	wantB := `h_bucket{k="b",le="1"} 1`
+	if ia, ib := strings.Index(text, wantA), strings.Index(text, wantB); ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("labeled histogram series wrong or unsorted:\n%s", text)
+	}
+	if !strings.Contains(text, `h_bucket{k="a",le="+Inf"} 1`) {
+		t.Fatalf("overflow bucket missing:\n%s", text)
+	}
+	if !strings.Contains(text, `h_sum{k="b"} 0.5`) {
+		t.Fatalf("labeled sum missing:\n%s", text)
+	}
+	if err := ValidateExposition(out.Bytes()); err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+}
+
+func TestSanitizationAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("9bad name-total", "he\nlp \\here", Labels{
+		"bad key":   "va\"l\\ue\nx",
+		"2leading":  "v",
+		"":          "empty-key",
+		"dup key":   "first", // collides with "dup-key" post-sanitization
+		"dup-key":   "second",
+		"fine_key1": "plain",
+	}).Inc()
+	var out bytes.Buffer
+	r.WritePrometheus(&out)
+	text := out.String()
+	if !strings.Contains(text, "_9bad_name_total") {
+		t.Fatalf("name not sanitized:\n%s", text)
+	}
+	if !strings.Contains(text, `bad_key="va\"l\\ue\nx"`) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+	if err := ValidateExposition(out.Bytes()); err != nil {
+		t.Fatalf("sanitized output still invalid: %v\n%s", err, text)
+	}
+}
+
+func TestFormatSample(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		5:           "5",
+		-3:          "-3",
+		2.25:        "2.25",
+		0.0005:      "0.0005",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := formatSample(v); got != want {
+			t.Errorf("formatSample(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatSample(math.NaN()); got != "NaN" {
+		t.Errorf("NaN → %q", got)
+	}
+	if got := formatSample(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("-Inf → %q", got)
+	}
+}
+
+func TestSnapshotKeys(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", Labels{"a": "1"}).Add(7)
+	r.Histogram("h_seconds", "", []float64{1}, nil).Observe(0.25)
+	r.GaugeFunc("g", "", nil, func() float64 { return 1.5 })
+	snap := r.Snapshot()
+	for k, want := range map[string]float64{
+		`c_total{a="1"}`:  7,
+		"h_seconds_count": 1,
+		"h_seconds_sum":   0.25,
+		"g":               1.5,
+	} {
+		if snap[k] != want {
+			t.Errorf("snapshot[%q] = %v, want %v (full: %v)", k, snap[k], want, snap)
+		}
+	}
+}
+
+func TestConcurrentHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h", "", []float64{0.5}, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+	if h.Sum() != 2000 {
+		t.Fatalf("histogram sum = %v, want 2000", h.Sum())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := []string{
+		"9name 1",            // bad metric name
+		"name{k=v} 1",        // unquoted label value
+		"name{k=\"v\" 1",     // unterminated block
+		"name{k=\"v\\q\"} 1", // illegal escape
+		"name 1 2",           // trailing timestamp field
+		"name notafloat",     // bad value
+		"# TYPE x counter\n# TYPE x counter\nx 1", // duplicate family
+		"x{a=\"1\"} 1\nx{a=\"1\"} 1",              // duplicate series line
+		"# TYPE x flavor\nx 1",                    // unknown type
+		"name{1k=\"v\"} 1",                        // bad label name
+	}
+	for _, s := range bad {
+		if err := ValidateExposition([]byte(s)); err == nil {
+			t.Errorf("validator accepted %q", s)
+		}
+	}
+	good := "# HELP a_total help text\n# TYPE a_total counter\na_total 5\na_total{x=\"y\"} 1.5e-06\nb_bucket{le=\"+Inf\"} 3\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Errorf("validator rejected good exposition: %v", err)
+	}
+}

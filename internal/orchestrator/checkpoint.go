@@ -76,6 +76,8 @@ func BackupPath(path string) string { return path + ".bak" }
 // checkpoint, and even a torn write that slips through (simulated by the
 // Truncate fault class) leaves the previous snapshot recoverable.
 func (o *Orchestrator) checkpoint() error {
+	span := o.cfg.Tracer.Start("orch.checkpoint")
+	defer span.End()
 	ck := &Checkpoint{
 		Version:    CheckpointVersion,
 		SavedAt:    time.Now().UTC(),

@@ -1,0 +1,109 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gmr/internal/obs"
+)
+
+// TestObsRegistryAndRecords covers the observability opt-in: with
+// Config.Obs attached the registry exposes per-island progress series and
+// the telemetry stream carries one "obs" snapshot record per generation;
+// without it the stream contains no such records, preserving the
+// byte-identical-telemetry contract for existing configurations.
+func TestObsRegistryAndRecords(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{Ring: 64})
+	tracer.RegisterMetrics(reg)
+
+	var buf bytes.Buffer
+	cfg := testConfig(11, 3)
+	cfg.Telemetry = &buf
+	cfg.Obs = reg
+	cfg.Tracer = tracer
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 3 {
+		t.Fatalf("generations = %d", res.Generations)
+	}
+
+	// The registry serves one valid exposition with per-island series.
+	rr := httptest.NewRecorder()
+	reg.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.Bytes()
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, series := range []string{
+		`gmr_gp_generation{island="0"} 3`,
+		`gmr_gp_generation{island="3"} 3`,
+		`gmr_gp_best_fitness{island="0"}`,
+		`gmr_gp_evaluations_total{island="2"}`,
+		`gmr_obs_spans_recorded_total`,
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+
+	// Orchestration spans were recorded (orch.generation at minimum).
+	names := map[string]bool{}
+	for _, sp := range tracer.Snapshot() {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"orch.generation", "orch.migrate", "gp.variation", "gp.evaluate"} {
+		if !names[want] {
+			t.Errorf("no %s span recorded (got %v)", want, names)
+		}
+	}
+
+	// One "obs" record per emitGenRecords call: generation 0 plus each
+	// stepped generation, with the registry snapshot embedded.
+	var obsRecs []obsRecord
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.Contains(line, `"type":"obs"`) {
+			continue
+		}
+		var rec obsRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("obs record %q: %v", line, err)
+		}
+		obsRecs = append(obsRecs, rec)
+	}
+	if len(obsRecs) != 4 {
+		t.Fatalf("obs records = %d, want 4 (gen 0..3)", len(obsRecs))
+	}
+	last := obsRecs[len(obsRecs)-1]
+	if last.Gen != 3 {
+		t.Fatalf("last obs record gen = %d", last.Gen)
+	}
+	if v := last.Metrics[`gmr_gp_generation{island="0"}`]; v != 3 {
+		t.Fatalf("snapshot gmr_gp_generation{island=0} = %v, want 3", v)
+	}
+
+	// Control: the same run without Obs emits no obs records.
+	var plain bytes.Buffer
+	cfg2 := testConfig(11, 3)
+	cfg2.Telemetry = &plain
+	o2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), `"type":"obs"`) {
+		t.Fatal("obs records emitted without Config.Obs")
+	}
+}

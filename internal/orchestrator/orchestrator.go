@@ -41,6 +41,7 @@ import (
 	"gmr/internal/evalx"
 	"gmr/internal/faultinject"
 	"gmr/internal/gp"
+	"gmr/internal/obs"
 	"gmr/internal/stats"
 	"gmr/internal/tag"
 )
@@ -84,6 +85,16 @@ type Config struct {
 	// the same injector to the evaluators (evalx.Options.Faults) so one
 	// counter set covers the whole run.
 	Faults *faultinject.Injector
+	// Obs, when non-nil, is the unified observability registry: New
+	// registers per-island progress gauges and evaluator counter families
+	// on it (see obs.go), and Run appends a per-generation "obs" registry
+	// snapshot record to the telemetry stream. Nil keeps the stream
+	// byte-identical to the pre-registry format.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records orchestration spans (orch.generation,
+	// orch.migrate, orch.checkpoint) and is handed to every island engine
+	// for its per-phase spans. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +169,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		icfg := cfg.GP
 		icfg.Seed = master.Int63()
 		icfg.Hook = nil // the orchestrator steps engines itself
+		icfg.Tracer = cfg.Tracer
 		if cfg.ConfigureIsland != nil {
 			icfg = cfg.ConfigureIsland(i, icfg)
 		}
@@ -169,6 +181,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		o.engines = append(o.engines, eng)
 		o.evals = append(o.evals, ev)
 	}
+	o.registerObs()
 	return o, nil
 }
 
@@ -231,13 +244,18 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 			interrupted = true
 			break
 		}
-		if err := o.parallelIslands(func(i int) error { return o.engines[i].StepGen() }); err != nil {
+		span := o.cfg.Tracer.Start("orch.generation")
+		err := o.parallelIslands(func(i int) error { return o.engines[i].StepGen() })
+		span.End()
+		if err != nil {
 			return nil, err
 		}
 		o.gen++
 		o.emitGenRecords()
 		if o.migrationDue() {
+			mspan := o.cfg.Tracer.Start("orch.migrate")
 			o.migrate()
+			mspan.End()
 		}
 		if o.cfg.CheckpointPath != "" && o.cfg.CheckpointEvery > 0 &&
 			o.gen%o.cfg.CheckpointEvery == 0 && o.gen < total {
@@ -303,6 +321,7 @@ func (o *Orchestrator) emitGenRecords() {
 		}
 		o.tele.generation(i, e.LastStats(), e.Quarantines(), cache)
 	}
+	o.emitObsRecord()
 }
 
 // Quarantines totals panic-recovered evaluations across all islands.

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"gmr/internal/obs"
 )
 
 // The micro-batching executor: concurrent forecast requests are coalesced
@@ -37,7 +39,8 @@ type pendingReq struct {
 	ctx  context.Context
 	spec *execSpec
 	resp chan execResult
-	done bool // set by respond; guards double-sends on panic recovery
+	enq  time.Time // admission time, for the queue-wait histogram
+	done bool      // set by respond; guards double-sends on panic recovery
 }
 
 // respond delivers the result exactly once (the channel has capacity 1 and
@@ -54,6 +57,7 @@ func (r *pendingReq) respond(res execResult) {
 type cohort struct {
 	key      cohortKey
 	reqs     []*pendingReq
+	created  time.Time // first arrival, for the batch-wait histogram
 	deadline time.Time
 	sent     bool // already dispatched (guards the flush order queue)
 }
@@ -64,7 +68,8 @@ type batcher struct {
 	maxBatch int
 	window   time.Duration
 	exec     func([]*pendingReq)
-	onDrop   func(n int)
+	m        *metricsSet
+	tracer   *obs.Tracer
 
 	queue   chan *pendingReq
 	cohorts chan *cohort
@@ -75,14 +80,15 @@ type batcher struct {
 }
 
 // newBatcher starts the dispatcher and workers workers. exec runs one
-// cohort's live members; onDrop observes members dropped without
-// simulation (expired deadlines).
-func newBatcher(maxBatch, queueSize, workers int, window time.Duration, exec func([]*pendingReq), onDrop func(int)) *batcher {
+// cohort's live members; m observes drops, queue waits, and batch
+// windows; tracer (nil-safe) records the corresponding spans.
+func newBatcher(maxBatch, queueSize, workers int, window time.Duration, exec func([]*pendingReq), m *metricsSet, tracer *obs.Tracer) *batcher {
 	b := &batcher{
 		maxBatch: maxBatch,
 		window:   window,
 		exec:     exec,
-		onDrop:   onDrop,
+		m:        m,
+		tracer:   tracer,
 		queue:    make(chan *pendingReq, queueSize),
 		cohorts:  make(chan *cohort, workers*2),
 	}
@@ -102,6 +108,7 @@ func (b *batcher) submit(r *pendingReq) error {
 	if b.closed {
 		return errDraining
 	}
+	r.enq = time.Now()
 	select {
 	case b.queue <- r:
 		return nil
@@ -185,7 +192,8 @@ func (b *batcher) dispatchLoop() {
 			}
 			c := pending[r.spec.key]
 			if c == nil {
-				c = &cohort{key: r.spec.key, deadline: time.Now().Add(b.window)}
+				now := time.Now()
+				c = &cohort{key: r.spec.key, created: now, deadline: now.Add(b.window)}
 				pending[r.spec.key] = c
 				order = append(order, c)
 			}
@@ -241,11 +249,29 @@ func (b *batcher) runCohort(c *cohort) {
 		live = append(live, r)
 	}
 	c.reqs = live
-	if dropped > 0 && b.onDrop != nil {
-		b.onDrop(dropped)
+	if dropped > 0 && b.m != nil {
+		b.m.deadlineDrops.Add(int64(dropped))
 	}
 	if len(c.reqs) == 0 {
 		return
+	}
+	// Observe the waits at the dispatch edge: per-member queue wait
+	// (admission → here) and, for windowed cohorts, the batch window the
+	// first member paid (creation → here).
+	now := time.Now()
+	if b.m != nil {
+		if !c.created.IsZero() {
+			d := now.Sub(c.created)
+			b.m.batchWait.Observe(d.Seconds())
+			b.tracer.Observe("serve.batch_wait", c.created, d)
+		}
+		for _, r := range c.reqs {
+			if !r.enq.IsZero() {
+				d := now.Sub(r.enq)
+				b.m.queueWait.Observe(d.Seconds())
+				b.tracer.Observe("serve.queue_wait", r.enq, d)
+			}
+		}
 	}
 	b.exec(c.reqs)
 }

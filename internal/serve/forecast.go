@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"gmr/internal/bio"
 	"gmr/internal/dataset"
@@ -288,20 +289,26 @@ func (s *Server) execCohort(members []*pendingReq) {
 	}
 
 	sc := s.scratch.Get().(*bio.SimScratch)
+	dropsBefore := sc.LaneDrops
 	for base := 0; base < n; base += expr.Lanes {
 		end := base + expr.Lanes
 		if end > n {
 			end = n
 		}
 		chunk := params[base:end]
+		t0 := time.Now()
 		spec.model.seg.PrologueLanes(chunk, sc)
 		off := base
 		spec.model.seg.KernelLanes(plan, spec.sim, sc, len(chunk), func(m, t int, bphy float64) bool {
 			return hook(off+m, t, bphy)
 		})
-		s.m.laneBatches.Add(1)
+		d := time.Since(t0)
+		s.m.kernel.Observe(d.Seconds())
+		s.tracer.Observe("serve.kernel", t0, d)
+		s.m.laneBatches.Inc()
 		s.m.laneMembers.Add(int64(len(chunk)))
 	}
+	s.m.laneCompactions.Add(int64(sc.LaneDrops - dropsBefore))
 	s.scratch.Put(sc)
 
 	for i, m := range members {

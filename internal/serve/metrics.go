@@ -1,197 +1,154 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"sort"
 	"sync"
-	"sync/atomic"
-	"time"
+
+	"gmr/internal/obs"
 )
 
-// Serving telemetry, exposed at /metrics in the Prometheus text exposition
-// format. Hand-rolled on stdlib atomics — the repo takes no dependencies —
-// with the same counter discipline as the evaluator snapshot (DESIGN.md
-// §9): monotonic counters plus a few instantaneous gauges sampled at
-// scrape time.
+// Serving telemetry, exposed at /metrics in the Prometheus text
+// exposition format. The metric families live on an obs.Registry — the
+// unified observability plane shared with training (DESIGN.md §13) —
+// rather than a bespoke exposition writer; family names and the latency
+// bucket layout predate the registry and are unchanged. Hot-path
+// counters and histograms are atomic handles held here; instantaneous
+// values (queue depth, lane fill, cache sizes, catalog state) are
+// scrape-time callbacks registered in registerObs.
+//
+// Registration is get-or-create on the registry, which is what fixes
+// the historical double-reporting of evalx snapshot counters across hot
+// reloads: the registry is the single owner of every series, and a
+// component that restarts or reloads re-registers over the same series
+// instead of appending a second copy to the exposition.
 
-// latencyBuckets are the histogram upper bounds in seconds, spanning
-// sub-millisecond cache hits through multi-second overload tails.
-const numBuckets = 13
-
-var latencyBuckets = [numBuckets]float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
-}
-
-// histogram is a fixed-bucket cumulative latency histogram.
-type histogram struct {
-	counts [numBuckets + 1]atomic.Int64 // one per bucket + overflow
-	total  atomic.Int64
-	sumNs  atomic.Int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	for i, ub := range latencyBuckets {
-		if s <= ub {
-			h.counts[i].Add(1)
-			h.total.Add(1)
-			h.sumNs.Add(int64(d))
-			return
-		}
-	}
-	h.counts[numBuckets].Add(1)
-	h.total.Add(1)
-	h.sumNs.Add(int64(d))
-}
-
-// write emits the histogram in Prometheus cumulative form.
-func (h *histogram) write(w io.Writer, name string) {
-	cum := int64(0)
-	for i, ub := range latencyBuckets {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
-	}
-	cum += h.counts[numBuckets].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
-}
-
-// metricsSet is the server's counter block. Request outcomes are counted
-// by code ("ok", "quarantined", "bad_request", "shed", ...) so the shed
-// and error rates fall directly out of one metric family.
+// metricsSet is the server's handle block for hot-path metrics.
 type metricsSet struct {
+	reg *obs.Registry
+
 	mu       sync.Mutex
-	requests map[string]int64 // by outcome code
+	requests map[string]*obs.Counter // gmr_serve_requests_total by outcome code
 
-	laneBatches   atomic.Int64 // kernel launches
-	laneMembers   atomic.Int64 // members those launches carried
-	deadlineDrops atomic.Int64 // members dropped before dispatch (ctx expired)
-	panics        atomic.Int64 // recovered request/cohort panics
+	laneBatches     *obs.Counter
+	laneMembers     *obs.Counter
+	laneCompactions *obs.Counter
+	deadlineDrops   *obs.Counter
+	panics          *obs.Counter
 
-	latency histogram // end-to-end /v1/forecast latency
+	latency   *obs.Histogram // end-to-end /v1/forecast latency
+	queueWait *obs.Histogram // admission → dispatch, per executed member
+	batchWait *obs.Histogram // cohort first arrival → dispatch
+	kernel    *obs.Histogram // lane-kernel execution per launch
 }
 
-func newMetricsSet() *metricsSet {
-	return &metricsSet{requests: map[string]int64{}}
+func newMetricsSet(r *obs.Registry) *metricsSet {
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	return &metricsSet{
+		reg:      r,
+		requests: map[string]*obs.Counter{},
+		laneBatches: r.Counter("gmr_serve_lane_batches_total",
+			"Lane-kernel launches by the batching executor.", nil),
+		laneMembers: r.Counter("gmr_serve_lane_members_total",
+			"Members carried by lane-kernel launches.", nil),
+		laneCompactions: r.Counter("gmr_serve_lane_compactions_total",
+			"Lanes compacted away mid-launch (non-finite aborts and early stops).", nil),
+		deadlineDrops: r.Counter("gmr_serve_deadline_drops_total",
+			"Members dropped before dispatch (deadline expired while queued).", nil),
+		panics: r.Counter("gmr_serve_panics_total",
+			"Recovered request/cohort panics.", nil),
+		latency: r.Histogram("gmr_serve_request_seconds",
+			"End-to-end forecast latency.", nil, nil),
+		queueWait: r.Histogram("gmr_serve_queue_wait_seconds",
+			"Admission-to-dispatch wait per executed member.", nil, nil),
+		batchWait: r.Histogram("gmr_serve_batch_wait_seconds",
+			"Cohort batch window: first arrival to dispatch.", nil, nil),
+		kernel: r.Histogram("gmr_serve_kernel_seconds",
+			"Lane-kernel execution time per launch.", nil, nil),
+	}
 }
 
+// countRequest counts one request outcome. Codes are an open set
+// ("ok", "quarantined", "bad_request", "shed", ...), so series handles
+// are created on first sight and cached.
 func (m *metricsSet) countRequest(code string) {
 	m.mu.Lock()
-	m.requests[code]++
+	c := m.requests[code]
+	if c == nil {
+		c = m.reg.Counter("gmr_serve_requests_total",
+			"Forecast requests by outcome code.", obs.Labels{"code": code})
+		m.requests[code] = c
+	}
 	m.mu.Unlock()
+	c.Inc()
 }
 
-func (m *metricsSet) requestCounts() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.requests))
-	for k, v := range m.requests {
-		out[k] = v
-	}
-	return out
-}
+// registerObs publishes the scrape-time series: live gauges over server
+// state, cache statistics, catalog composition, and the validation
+// evaluator's counters. Called once from New, after the batcher exists.
+func (s *Server) registerObs() {
+	r := s.m.reg
+	r.GaugeFunc("gmr_serve_lane_fill_ratio",
+		"Mean fraction of kernel lanes carrying a request.", nil, func() float64 {
+			b, members := s.m.laneBatches.Value(), s.m.laneMembers.Value()
+			if b == 0 {
+				return 0
+			}
+			return float64(members) / float64(b*laneWidth)
+		})
+	r.GaugeFunc("gmr_serve_queue_depth",
+		"Requests waiting in the admission queue.", nil, func() float64 {
+			return float64(len(s.bat.queue))
+		})
 
-// writeMetrics renders the full exposition: server counters, live gauges,
-// cache stats, and the registry's evalx snapshot counters (read-only
-// access to the shared evaluation pipeline's telemetry).
-func (s *Server) writeMetrics(w io.Writer) {
-	m := s.m
+	r.CounterFunc("gmr_serve_response_cache_hits_total", "", nil, func() float64 {
+		h, _, _ := s.respCache.stats()
+		return float64(h)
+	})
+	r.CounterFunc("gmr_serve_response_cache_misses_total", "", nil, func() float64 {
+		_, m, _ := s.respCache.stats()
+		return float64(m)
+	})
+	r.GaugeFunc("gmr_serve_response_cache_entries", "", nil, func() float64 {
+		_, _, n := s.respCache.stats()
+		return float64(n)
+	})
+	r.CounterFunc("gmr_serve_plan_cache_hits_total", "", nil, func() float64 {
+		h, _, _ := s.plans.stats()
+		return float64(h)
+	})
+	r.CounterFunc("gmr_serve_plan_cache_misses_total", "", nil, func() float64 {
+		_, m, _ := s.plans.stats()
+		return float64(m)
+	})
+	r.GaugeFunc("gmr_serve_plan_cache_entries", "", nil, func() float64 {
+		_, _, n := s.plans.stats()
+		return float64(n)
+	})
 
-	fmt.Fprintln(w, "# HELP gmr_serve_requests_total Forecast requests by outcome code.")
-	fmt.Fprintln(w, "# TYPE gmr_serve_requests_total counter")
-	counts := m.requestCounts()
-	codes := make([]string, 0, len(counts))
-	for c := range counts {
-		codes = append(codes, c)
-	}
-	sort.Strings(codes)
-	for _, c := range codes {
-		fmt.Fprintf(w, "gmr_serve_requests_total{code=%q} %d\n", c, counts[c])
-	}
-
-	fmt.Fprintln(w, "# HELP gmr_serve_lane_batches_total Lane-kernel launches by the batching executor.")
-	fmt.Fprintln(w, "# TYPE gmr_serve_lane_batches_total counter")
-	batches := m.laneBatches.Load()
-	members := m.laneMembers.Load()
-	fmt.Fprintf(w, "gmr_serve_lane_batches_total %d\n", batches)
-	fmt.Fprintln(w, "# TYPE gmr_serve_lane_members_total counter")
-	fmt.Fprintf(w, "gmr_serve_lane_members_total %d\n", members)
-	fill := 0.0
-	if batches > 0 {
-		fill = float64(members) / float64(batches*laneWidth)
-	}
-	fmt.Fprintln(w, "# HELP gmr_serve_lane_fill_ratio Mean fraction of kernel lanes carrying a request.")
-	fmt.Fprintln(w, "# TYPE gmr_serve_lane_fill_ratio gauge")
-	fmt.Fprintf(w, "gmr_serve_lane_fill_ratio %g\n", fill)
-
-	fmt.Fprintln(w, "# TYPE gmr_serve_queue_depth gauge")
-	fmt.Fprintf(w, "gmr_serve_queue_depth %d\n", len(s.bat.queue))
-	fmt.Fprintln(w, "# TYPE gmr_serve_deadline_drops_total counter")
-	fmt.Fprintf(w, "gmr_serve_deadline_drops_total %d\n", m.deadlineDrops.Load())
-	fmt.Fprintln(w, "# TYPE gmr_serve_panics_total counter")
-	fmt.Fprintf(w, "gmr_serve_panics_total %d\n", m.panics.Load())
-
-	fmt.Fprintln(w, "# HELP gmr_serve_request_seconds End-to-end forecast latency.")
-	fmt.Fprintln(w, "# TYPE gmr_serve_request_seconds histogram")
-	m.latency.write(w, "gmr_serve_request_seconds")
-
-	rcHits, rcMisses, rcSize := s.respCache.stats()
-	fmt.Fprintln(w, "# TYPE gmr_serve_response_cache_hits_total counter")
-	fmt.Fprintf(w, "gmr_serve_response_cache_hits_total %d\n", rcHits)
-	fmt.Fprintln(w, "# TYPE gmr_serve_response_cache_misses_total counter")
-	fmt.Fprintf(w, "gmr_serve_response_cache_misses_total %d\n", rcMisses)
-	fmt.Fprintln(w, "# TYPE gmr_serve_response_cache_entries gauge")
-	fmt.Fprintf(w, "gmr_serve_response_cache_entries %d\n", rcSize)
-
-	pcHits, pcMisses, pcSize := s.plans.stats()
-	fmt.Fprintln(w, "# TYPE gmr_serve_plan_cache_hits_total counter")
-	fmt.Fprintf(w, "gmr_serve_plan_cache_hits_total %d\n", pcHits)
-	fmt.Fprintln(w, "# TYPE gmr_serve_plan_cache_misses_total counter")
-	fmt.Fprintf(w, "gmr_serve_plan_cache_misses_total %d\n", pcMisses)
-	fmt.Fprintln(w, "# TYPE gmr_serve_plan_cache_entries gauge")
-	fmt.Fprintf(w, "gmr_serve_plan_cache_entries %d\n", pcSize)
-
-	cat := s.reg.Catalog()
-	ready := 0
-	for _, id := range cat.order {
-		if cat.models[id].Ready() {
-			ready++
+	countModels := func(ready bool) float64 {
+		cat := s.reg.Catalog()
+		n := 0
+		for _, id := range cat.order {
+			if cat.models[id].Ready() == ready {
+				n++
+			}
 		}
+		return float64(n)
 	}
-	fmt.Fprintln(w, "# TYPE gmr_serve_models gauge")
-	fmt.Fprintf(w, "gmr_serve_models{status=\"ready\"} %d\n", ready)
-	fmt.Fprintf(w, "gmr_serve_models{status=\"rejected\"} %d\n", len(cat.order)-ready)
-	fmt.Fprintln(w, "# TYPE gmr_serve_catalog_version gauge")
-	fmt.Fprintf(w, "gmr_serve_catalog_version %d\n", cat.version)
-	fmt.Fprintln(w, "# TYPE gmr_serve_reloads_total counter")
-	fmt.Fprintf(w, "gmr_serve_reloads_total %d\n", s.reg.Reloads())
+	r.GaugeFunc("gmr_serve_models", "Catalog entries by status.",
+		obs.Labels{"status": "ready"}, func() float64 { return countModels(true) })
+	r.GaugeFunc("gmr_serve_models", "Catalog entries by status.",
+		obs.Labels{"status": "rejected"}, func() float64 { return countModels(false) })
+	r.GaugeFunc("gmr_serve_catalog_version", "", nil, func() float64 {
+		return float64(s.reg.Catalog().version)
+	})
+	r.CounterFunc("gmr_serve_reloads_total", "", nil, func() float64 {
+		return float64(s.reg.Reloads())
+	})
 
-	// Registry evaluator counters: the tier-1/tier-2/exog-plan/quarantine
-	// telemetry of the shared evalx pipeline used for load-time validation.
-	snap := s.reg.EvalSnapshot()
-	fmt.Fprintln(w, "# HELP gmr_serve_evalx Validation-evaluator snapshot counters (see DESIGN.md §9–11).")
-	fmt.Fprintln(w, "# TYPE gmr_serve_evalx counter")
-	for _, c := range []struct {
-		name string
-		v    int
-	}{
-		{"evaluations", snap.Evaluations},
-		{"full_evals", snap.FullEvals},
-		{"tier1_hits", snap.Tier1Hits},
-		{"tier1_misses", snap.Tier1Misses},
-		{"tier2_hits", snap.Tier2Hits},
-		{"tier2_misses", snap.Tier2Misses},
-		{"derives", snap.Derives},
-		{"compiles", snap.Compiles},
-		{"exog_plan_builds", snap.ExogPlanBuilds},
-		{"exog_plan_hits", snap.ExogPlanHits},
-		{"quar_nan", snap.QuarNaN},
-		{"quar_inf", snap.QuarInf},
-		{"quar_deadline", snap.QuarDeadline},
-		{"quar_bad_structure", snap.QuarBadStructure},
-	} {
-		fmt.Fprintf(w, "gmr_serve_evalx{counter=%q} %d\n", c.name, c.v)
-	}
+	// The validation evaluator survives reloads (the registry reuses it
+	// so unchanged models keep their compiled entries), and its series
+	// callbacks read it live — one owner, one family, no double counting.
+	s.reg.eval.RegisterObs(r, "gmr_serve_evalx", nil)
 }

@@ -18,6 +18,7 @@ import (
 	"gmr/internal/bio"
 	"gmr/internal/dataset"
 	"gmr/internal/expr"
+	"gmr/internal/obs"
 )
 
 // laneWidth is the SoA kernel's lane count — the hard upper bound on
@@ -63,6 +64,15 @@ type Config struct {
 	// RequestTimeout bounds a forecast end to end, queueing included
 	// (default 10s).
 	RequestTimeout time.Duration
+
+	// Obs is the observability registry the server publishes its metric
+	// families on (nil = a private registry). Passing a shared registry
+	// merges serving telemetry into one exposition with whatever else the
+	// process runs — the "one /metrics" contract of DESIGN.md §13.
+	Obs *obs.Registry
+	// Tracer records serving-path spans (queue wait, batch window, kernel
+	// dispatch). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -126,6 +136,7 @@ type Server struct {
 	plans     *planCache
 	respCache *respCache
 	m         *metricsSet
+	tracer    *obs.Tracer
 	scratch   sync.Pool
 
 	draining atomic.Bool
@@ -157,12 +168,14 @@ func New(c Config) (*Server, error) {
 		reg:        reg,
 		plans:      newPlanCache(cfg.PlanCacheSize),
 		respCache:  newRespCache(cfg.CacheSize),
-		m:          newMetricsSet(),
+		m:          newMetricsSet(cfg.Obs),
+		tracer:     cfg.Tracer,
 		started:    time.Now(),
 	}
 	s.scratch.New = func() any { return &bio.SimScratch{} }
 	s.bat = newBatcher(cfg.MaxBatch, cfg.QueueSize, cfg.Workers, cfg.BatchWindow,
-		s.execCohort, func(n int) { s.m.deadlineDrops.Add(int64(n)) })
+		s.execCohort, s.m, s.tracer)
+	s.registerObs()
 	return s, nil
 }
 

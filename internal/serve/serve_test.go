@@ -173,7 +173,7 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 	}
 	// Batching must actually have happened for the property to mean
 	// anything: more members than kernel launches.
-	launches, members := batched.m.laneBatches.Load(), batched.m.laneMembers.Load()
+	launches, members := batched.m.laneBatches.Value(), batched.m.laneMembers.Value()
 	if members != int64(len(reqs)) {
 		t.Fatalf("executor carried %d members, want %d", members, len(reqs))
 	}

@@ -75,7 +75,7 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				s.m.panics.Add(1)
+				s.m.panics.Inc()
 				s.m.countRequest("panic")
 				// Best-effort: if the handler already wrote, this is a no-op
 				// on the status line and the client sees a truncated body.
@@ -94,7 +94,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	defer func() { s.m.latency.observe(time.Since(t0)) }()
+	defer func() { s.m.latency.Observe(time.Since(t0).Seconds()) }()
 
 	var req ForecastRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -228,7 +228,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.writeMetrics(w)
+// handleMetrics serves the whole obs registry: when the daemon shares a
+// registry with other subsystems (training metrics, tracer counters),
+// one scrape covers them all.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.m.reg.ServeHTTP(w, r)
 }
