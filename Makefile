@@ -34,11 +34,12 @@ fuzz:
 	$(GO) test -fuzz FuzzPromExposition -fuzztime $(FUZZTIME) ./internal/obs/
 
 # chaos runs the fault-injection suite (injected panics, NaN poison,
-# checkpoint truncation, resume-under-faults determinism) under the race
-# detector.
+# checkpoint truncation, resume-under-faults determinism) and the
+# clustered-scheduler differential tests (cluster/scalar/worker-count
+# parity, with and without faults) under the race detector.
 chaos:
 	$(GO) test -race ./internal/faultinject/
-	$(GO) test -race -run 'Chaos|Fault|Quarantine|Backup|Truncation' \
+	$(GO) test -race -run 'Chaos|Cluster|Fault|Quarantine|Backup|Truncation' \
 		./internal/evalx/ ./internal/gp/ ./internal/orchestrator/
 
 # bench runs the hot-path microbenchmarks with allocation reporting.
@@ -51,6 +52,7 @@ bench:
 # level) so the serving load generator stays green without measuring.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/expr/ ./internal/bio/ ./internal/evalx/
+	$(GO) test -run xxx -bench EvaluatePop -benchtime 1x .
 	$(GO) run ./cmd/riverbench -exp servebench -serve-duration 200ms \
 		-serve-out /tmp/BENCH_SERVE.smoke.json
 

@@ -2,9 +2,45 @@ package gmr
 
 import (
 	"math"
+	"math/rand"
+	"testing"
 
+	"gmr/internal/bio"
+	"gmr/internal/gp"
+	"gmr/internal/grammar"
 	"gmr/internal/river"
 )
+
+// dupHeavyPop builds a duplicate-heavy GP population: nStructs random
+// structures cloned copies times each, interleaved. This is the generation
+// shape left by param-only variation (local search, ES mutation) — the
+// workload the structure-clustered population scheduler targets. The
+// benchmark loop gives each member a unique parameter vector so every
+// evaluation misses tier 2 and the lane kernel does real work.
+func dupHeavyPop(b *testing.B, nStructs, copies int) []*gp.Individual {
+	b.Helper()
+	g, err := grammar.River(grammar.DefaultExtensions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	means := bio.Means(bio.DefaultConstants())
+	bases := make([]*gp.Individual, nStructs)
+	for i := range bases {
+		d, err := g.RandomDeriv(rng, 4, 18)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bases[i] = gp.NewIndividual(d, means)
+	}
+	pop := make([]*gp.Individual, 0, nStructs*copies)
+	for c := 0; c < copies; c++ {
+		for _, base := range bases {
+			pop = append(pop, base.Clone())
+		}
+	}
+	return pop
+}
 
 // benchNakdong and benchInputs build the hydrology benchmark workload.
 

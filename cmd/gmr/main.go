@@ -58,17 +58,18 @@ import (
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "dataset CSV (from datagen); empty = generate synthetic data")
-		pop      = flag.Int("pop", 150, "population size")
-		gens     = flag.Int("gens", 60, "generations")
-		runs     = flag.Int("runs", 2, "independent runs (ignored with -islands)")
-		ls       = flag.Int("ls", 6, "local search steps per offspring")
-		seed     = flag.Int64("seed", 1, "seed")
-		subSteps = flag.Int("substeps", 2, "Euler substeps per day")
-		noES     = flag.Bool("no-es", false, "disable evaluation short-circuiting")
-		analyze  = flag.Bool("analyze", true, "run the variable-selectivity analysis")
-		savePath = flag.String("save", "", "write the best revised model (derivation + parameters) to this JSON file")
-		exportTo = flag.String("export-model", "", "write the best model as a deployable bundle (gmrd serve registry format) to this JSON file")
+		dataPath  = flag.String("data", "", "dataset CSV (from datagen); empty = generate synthetic data")
+		pop       = flag.Int("pop", 150, "population size")
+		gens      = flag.Int("gens", 60, "generations")
+		runs      = flag.Int("runs", 2, "independent runs (ignored with -islands)")
+		ls        = flag.Int("ls", 6, "local search steps per offspring")
+		seed      = flag.Int64("seed", 1, "seed")
+		subSteps  = flag.Int("substeps", 2, "Euler substeps per day")
+		noES      = flag.Bool("no-es", false, "disable evaluation short-circuiting")
+		noCluster = flag.Bool("nocluster", false, "disable the structure-clustered population scheduler (ablation; bitwise-identical results, scalar speed)")
+		analyze   = flag.Bool("analyze", true, "run the variable-selectivity analysis")
+		savePath  = flag.String("save", "", "write the best revised model (derivation + parameters) to this JSON file")
+		exportTo  = flag.String("export-model", "", "write the best model as a deployable bundle (gmrd serve registry format) to this JSON file")
 
 		islands     = flag.Int("islands", 0, "run as an island model with this many islands (0 = sequential runs)")
 		migEvery    = flag.Int("migrate-every", 0, "generations between elite migrations (0 = default 5, <0 disables)")
@@ -125,7 +126,7 @@ func main() {
 	eval.Faults = faults
 	eval.EvalDeadline = *deadline
 	cfg := core.Config{
-		GP:   gp.Config{PopSize: *pop, MaxGen: *gens, LocalSearchSteps: *ls, Seed: *seed},
+		GP:   gp.Config{PopSize: *pop, MaxGen: *gens, LocalSearchSteps: *ls, Seed: *seed, NoCluster: *noCluster},
 		Eval: eval,
 		Runs: *runs,
 		TopK: 50,

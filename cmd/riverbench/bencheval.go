@@ -286,6 +286,45 @@ func benchEvalPass(ds *dataset.Dataset) []benchEvalResult {
 		}
 	}))
 
+	// Population evaluation: the structure-clustered generation scheduler
+	// versus the per-individual scalar path (the -nocluster ablation) over
+	// a duplicate-heavy population — 8 structures × 8 clones with unique
+	// parameter vectors, the generation shape left by param-only variation
+	// (DESIGN.md §14). Amortized per individual.
+	popBench := func(noCluster bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			bases := newInds(8, 29)
+			pop := make([]*gp.Individual, 0, 64)
+			for c := 0; c < 8; c++ {
+				for _, base := range bases {
+					pop = append(pop, base.Clone())
+				}
+			}
+			ev := newEval(true)
+			eng, err := gp.NewEngine(g, ev, gp.Config{PopSize: len(pop), Seed: 7, NoCluster: noCluster})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			eng.EvaluatePopulation(pop) // warm: derive, compile, exogenous plans
+			basep := make([]float64, len(pop))
+			for j, ind := range pop {
+				basep[j] = ind.Params[0]
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(pop) {
+				for j, ind := range pop {
+					ind.Params[0] = basep[j] * (1 + float64(i+j)*1e-9)
+					ind.Invalidate()
+				}
+				eng.EvaluatePopulation(pop)
+			}
+		}
+	}
+	record("evaluate_pop_clustered", testing.Benchmark(popBench(false)))
+	record("evaluate_pop_scalar", testing.Benchmark(popBench(true)))
+
 	// Tier-2 hit: identical (structure, params) — pure cache lookup.
 	record("evaluate_tier2_hit", testing.Benchmark(func(b *testing.B) {
 		inds := newInds(1, 12)

@@ -45,6 +45,21 @@ func FuzzLaneKernelVsScalar(f *testing.F) {
 			"BZoo * log(Vdo + CFmin) - CBRZ * BZoo * exp(CBMT)",
 			4, 1<<32 | 2<<36 | 9, // forcing poison, 3 substeps
 		},
+		// Mixed-cluster shapes from the structure-clustered population
+		// scheduler (DESIGN.md §14): one structure, laneChunk-width batches
+		// where only some members carry poisoned parameter vectors — the
+		// cluster must finish its clean members bitwise-identically while
+		// quarantining the poisoned lanes mid-flight.
+		{
+			"BPhy * CUA * (Vn / (Vn + CN)) - CMFR * BZoo * (BPhy / (BPhy + CFS))",
+			"CUZ * BZoo * (BPhy / (BPhy + CFS)) - CDZ * BZoo",
+			5, 1<<10 | 1<<13 | 1<<20 | 8, // full laneChunk (width 8), NaN poison on members 2 and 5
+		},
+		{
+			"BPhy * CUA * exp(-(Vtmp - CBTP1) * (Vtmp - CBTP1) * CPT) * (Vlgt / CBL)",
+			"CUZ * BZoo * (BPhy / (BPhy + CFS)) - CDZ * BZoo - CBRZ * BZoo",
+			6, 0xAAA<<8 | 2<<20 | 1<<36 | 12, // two-chunk batch (width 12), Inf poison on alternating members
+		},
 	}
 	for _, s := range seeds {
 		f.Add(s.phy, s.zoo, s.seed, s.knobs)

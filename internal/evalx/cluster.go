@@ -1,0 +1,336 @@
+// Cluster evaluation (DESIGN.md §14): the gp engine's structure-clustered
+// population scheduler partitions each generation by memoized structure key
+// and hands every same-structure cluster to EvaluateCluster, which scores
+// the members through the lane-batched kernel with per-member semantics
+// bitwise equal to sequential scalar Evaluate calls — the same fitnesses,
+// fault-injection sites, quarantine classification, and tier-2 cache
+// interactions in input order. ResolveStruct is the hoisted front half of a
+// scalar evaluation (resolve + memoize the structure key), run once per
+// individual before the partition so clusters form without re-derivation.
+package evalx
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/bits"
+	"runtime/pprof"
+
+	"gmr/internal/expr"
+	"gmr/internal/faultinject"
+	"gmr/internal/gp"
+)
+
+// ResolveStruct resolves the individual's executable structure through the
+// tier-1 cache and memoizes the canonical key on the individual, counting
+// exactly what the resolution step of a plain Evaluate call counts (tier-1
+// hit, or derive + compile). EvaluateCluster relies on it having run: it
+// looks the entry up by the memoized key without counting a second resolve.
+// No-op when caching is disabled (the uncached pipeline has no keys).
+func (e *Evaluator) ResolveStruct(ind *gp.Individual) {
+	if !e.opts.UseCache {
+		return
+	}
+	e.structFor(ind)
+}
+
+// NoteCluster records one scheduled evaluation cluster for the population-
+// scheduler telemetry: multi-member clusters, singleton scalar fallbacks,
+// and the power-of-two cluster-size histogram.
+func (e *Evaluator) NoteCluster(size int) {
+	if size <= 0 {
+		return
+	}
+	if size == 1 {
+		e.ctr.popScalarFalls.Add(1)
+	} else {
+		e.ctr.popClusters.Add(1)
+	}
+	e.ctr.popClusterHist[histBucket(size)].Add(1)
+}
+
+// histBucket maps a cluster size to its power-of-two histogram bucket:
+// 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, >64.
+func histBucket(size int) int {
+	return min(bits.Len(uint(size-1)), PopHistBuckets-1)
+}
+
+// EvaluateCluster scores the unevaluated members of one same-structure
+// cluster (gp.ClusterEvaluator). Callers must ResolveStruct every member
+// first; the members' shared memoized key then locates the tier-1 entry
+// without a second counted resolve. Per-member semantics equal sequential
+// Evaluate calls in slice order; on an injected panic, every member before
+// the panicker is committed first (the ClusterEvaluator panic protocol).
+func (e *Evaluator) EvaluateCluster(inds []*gp.Individual) {
+	sc := e.scratch.Get().(*evalScratch)
+	defer e.scratch.Put(sc)
+
+	if !e.opts.UseCache {
+		for _, ind := range inds {
+			if ind.Evaluated {
+				continue
+			}
+			e.ctr.evaluations.Add(1)
+			e.ctr.stepsPossible.Add(int64(len(e.obs)))
+			fitness, full := e.evalUncached(ind, ind.Params, sc)
+			ind.Fitness, ind.Evaluated, ind.FullEval = fitness, true, full
+		}
+		return
+	}
+
+	var first *gp.Individual
+	npend := 0
+	for _, ind := range inds {
+		if !ind.Evaluated {
+			if first == nil {
+				first = ind
+			}
+			npend++
+		}
+	}
+	if first == nil {
+		return
+	}
+
+	key := first.StructKey()
+	if key == "" {
+		// ResolveStruct failed to derive this structure (and counted the
+		// failed derive); quarantine without re-deriving, as the scalar
+		// path's single structFor would.
+		for _, ind := range inds {
+			if !ind.Evaluated {
+				e.markBadStructure(ind)
+			}
+		}
+		return
+	}
+	var ent *structEntry
+	if key[0] == e.keyTag {
+		ent = e.lookupStruct(key)
+	}
+	if ent == nil {
+		// Key memoized by a differently-configured evaluator, or the caller
+		// skipped ResolveStruct: fall back to full scalar evaluations, which
+		// re-resolve (and count) per member.
+		for _, ind := range inds {
+			if !ind.Evaluated {
+				e.Evaluate(ind)
+			}
+		}
+		return
+	}
+	if ent.bad {
+		for _, ind := range inds {
+			if !ind.Evaluated {
+				e.markBadStructure(ind)
+			}
+		}
+		return
+	}
+	if npend == 1 || ent.seg == nil || e.opts.EvalDeadline > 0 {
+		// Scalar fallback: singleton clusters, structures without a
+		// segmented program, and deadline-bounded configurations evaluate
+		// sequentially through the shared resolved-entry pipeline. A panic
+		// escapes with every earlier member committed, satisfying the panic
+		// protocol for free.
+		for _, ind := range inds {
+			if !ind.Evaluated {
+				e.evaluateResolved(ind, ent, key, sc)
+			}
+		}
+		return
+	}
+	e.evaluateClusterLanes(ent, key, inds, sc)
+}
+
+// evaluateClusterLanes is the lane-batched body of EvaluateCluster. Phase 1
+// walks the members in input order — counters, fault injection, tier-2
+// lookup, intra-cluster duplicate detection — collecting the cache misses as
+// pending lane members; the pending members then integrate through
+// bio.KernelLanes in expr.Lanes-wide chunks; finalize classifies, counts,
+// inserts into tier 2, and commits each member in input order. Unlike
+// EvaluateParamBatch's high-churn sweeps, the population path does insert
+// simulated fitnesses into tier 2, exactly like scalar evaluation: clones,
+// elites, and next-generation duplicates replay these keys.
+//
+// An injected panic at member i is deferred: phase 1 stops there (member i
+// counted but not simulated, later members untouched), the pending prefix
+// simulates and commits, then the panic is re-raised — so the engine's
+// recovery quarantines exactly member i and re-invokes on the tail.
+func (e *Evaluator) evaluateClusterLanes(ent *structEntry, key string, inds []*gp.Individual, sc *evalScratch) {
+	n := len(e.obs)
+	pending := sc.lane[:0]
+	dups := sc.dups[:0]
+	sc.ckeys = sc.ckeys[:0]
+	var deferred any
+
+	for i, ind := range inds {
+		if ind.Evaluated {
+			continue
+		}
+		e.ctr.evaluations.Add(1)
+		e.ctr.stepsPossible.Add(int64(n))
+		off := len(sc.ckeys)
+		sc.ckeys = appendFitKey(sc.ckeys, key, ind.Params)
+		kb := sc.ckeys[off:]
+		site := hashBytes(kb)
+		// injectPre, with the panic deferred per the protocol (panic
+		// decision before latency, before the tier-2 lookup — the same
+		// order and Hit accounting as the scalar path).
+		if e.opts.Faults.Hit(faultinject.Panic, site) {
+			deferred = faultinject.InjectedPanic{Site: "evalx.Evaluate", Hash: site}
+			sc.ckeys = sc.ckeys[:off]
+			break
+		}
+		e.opts.Faults.Sleep(site)
+		sh := &e.shards[site&(cacheShards-1)]
+		sh.mu.Lock()
+		if hit, ok := sh.fits[string(kb)]; ok {
+			sh.mu.Unlock()
+			e.ctr.cacheHits.Add(1)
+			ind.Fitness, ind.Evaluated, ind.FullEval = hit.fitness, true, hit.full
+			sc.ckeys = sc.ckeys[:off]
+			continue
+		}
+		sh.mu.Unlock()
+		// Intra-cluster duplicate of a pending member: sequential order
+		// would simulate the first occurrence and serve this one from
+		// tier 2, so adopt the source's result after it commits.
+		dup := false
+		for j := range pending {
+			pk := sc.ckeys[pending[j].keyOff : pending[j].keyOff+pending[j].keyLen]
+			if bytes.Equal(pk, kb) {
+				dups = append(dups, dupPair{dst: ind, src: inds[pending[j].idx]})
+				dup = true
+				break
+			}
+		}
+		if dup {
+			sc.ckeys = sc.ckeys[:off]
+			continue
+		}
+		// Cache miss: this member simulates. The plan lookup is counted per
+		// simulated member, like the scalar path's planFor inside simulate.
+		e.planFor(ent)
+		poison := -1
+		if n > 0 && e.opts.Faults.Hit(faultinject.NaN, site) {
+			poison = int(site % uint64(n))
+		}
+		pending = append(pending, laneMember{
+			idx: i, params: ind.Params, poison: poison,
+			keyOff: off, keyLen: len(kb), site: site,
+		})
+	}
+	sc.lane = pending
+	sc.dups = dups
+
+	threshold := e.opts.Threshold
+	best := math.Inf(1)
+	if e.opts.UseShortCircuit {
+		best = math.Float64frombits(e.frozenBits.Load())
+	}
+	minSteps := int(e.opts.MinFrac * float64(n))
+	var chunk []laneMember
+	hook := func(m, t int, bphy float64) bool {
+		lm := &chunk[m]
+		if t == lm.poison {
+			bphy = math.NaN()
+		}
+		if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
+			lm.sse = math.Inf(1)
+			lm.steps = t + 1
+			if math.IsNaN(bphy) {
+				lm.reason = ReasonNaN
+			} else {
+				lm.reason = ReasonInf
+			}
+			return false
+		}
+		d := bphy - e.obs[t]
+		lm.sse += d * d
+		lm.steps = t + 1
+		if !e.opts.UseShortCircuit || math.IsInf(best, 1) || t+1 < minSteps {
+			return true
+		}
+		fitness := math.Sqrt(lm.sse / float64(t+1))
+		if fitness > best*threshold {
+			est := e.opts.Extrap(fitness, t, n)
+			if est > best {
+				lm.short = est
+				lm.scd = true
+				return false // short circuit: the lane compacts away
+			}
+		}
+		return true
+	}
+
+	plan := ent.plan // materialized above via planFor
+	dropsBefore := sc.sim.LaneDrops
+	for start := 0; start < len(pending); start += expr.Lanes {
+		end := min(start+expr.Lanes, len(pending))
+		chunk = pending[start:end]
+		ps := sc.laneParams[:0]
+		for i := range chunk {
+			ps = append(ps, chunk[i].params)
+		}
+		sc.laneParams = ps
+		e.ctr.laneBatches.Add(1)
+		e.ctr.lanesFilled.Add(int64(len(chunk)))
+		e.ctr.popLaneBatches.Add(1)
+		e.ctr.popLanesFilled.Add(int64(len(chunk)))
+		span := e.tracer.Start("evalx.lane_batch")
+		if e.profLabels {
+			pprof.Do(context.Background(), pprof.Labels("eval_phase", "prologue"), func(context.Context) {
+				ent.seg.PrologueLanes(ps, &sc.sim)
+			})
+			pprof.Do(context.Background(), pprof.Labels("eval_phase", "step-kernel"), func(context.Context) {
+				ent.seg.KernelLanes(plan, e.opts.Sim, &sc.sim, len(chunk), hook)
+			})
+		} else {
+			ent.seg.PrologueLanes(ps, &sc.sim)
+			ent.seg.KernelLanes(plan, e.opts.Sim, &sc.sim, len(chunk), hook)
+		}
+		span.End()
+	}
+	e.ctr.laneCompacts.Add(int64(sc.sim.LaneDrops - dropsBefore))
+
+	for i := range pending {
+		lm := &pending[i]
+		ind := inds[lm.idx]
+		var fitness float64
+		var full bool
+		switch {
+		case lm.scd:
+			fitness, full = lm.short, false
+			e.ctr.laneShortCircs.Add(1)
+		case math.IsInf(lm.sse, 1) || lm.steps == 0 || lm.steps < n:
+			if lm.reason == ReasonOK && (math.IsInf(lm.sse, 1) || lm.steps > 0) {
+				lm.reason = ReasonNaN
+			}
+			fitness, full = math.Inf(1), true
+		default:
+			fitness, full = math.Sqrt(lm.sse/float64(n)), true
+		}
+		e.ctr.quarantineCount(lm.reason)
+		e.recordResult(fitness, full, lm.steps)
+		// Tier-2 insert, like the scalar path (deadline configurations
+		// never reach the lane path, so no uncacheable results land here).
+		kb := sc.ckeys[lm.keyOff : lm.keyOff+lm.keyLen]
+		sh := &e.shards[lm.site&(cacheShards-1)]
+		sh.mu.Lock()
+		if _, ok := sh.fits[string(kb)]; !ok {
+			sh.fits[string(kb)] = cacheEntry{fitness, full}
+		}
+		sh.mu.Unlock()
+		ind.Fitness, ind.Evaluated, ind.FullEval = fitness, true, full
+	}
+	for _, d := range dups {
+		e.ctr.cacheHits.Add(1)
+		d.dst.Fitness, d.dst.Evaluated, d.dst.FullEval = d.src.Fitness, true, d.src.FullEval
+	}
+	if deferred != nil {
+		panic(deferred)
+	}
+}
+
+var _ gp.ClusterEvaluator = (*Evaluator)(nil)

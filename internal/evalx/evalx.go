@@ -224,6 +224,19 @@ type Stats struct {
 	LaneShortCircuits int // short circuits decided on the lane path
 	LaneCompactions   int // lanes compacted away mid-launch (aborts + early stops)
 
+	// Structure-clustered population-scheduler counters (DESIGN.md §14):
+	// clusters are same-structure groups the GP generation loop dispatched
+	// through EvaluateCluster; scalar fallbacks are singleton clusters
+	// (unique structures, failed derivations, or the -nocluster ablation).
+	// PopLaneBatches/PopLanesFilled are the subset of LaneBatches/
+	// LanesFilled launched from the population path, and the histogram
+	// buckets cluster sizes at powers of two (1, 2, ≤4, ≤8, ..., >64).
+	PopClusters        int                 // multi-member clusters scheduled
+	PopScalarFallbacks int                 // singleton clusters (scalar path)
+	PopLaneBatches     int                 // KernelLanes launches from EvaluateCluster
+	PopLanesFilled     int                 // members carried by those launches
+	PopClusterSizeHist [PopHistBuckets]int // cluster sizes, power-of-two buckets
+
 	// Quarantine counters, by reason code (simulations aborted with +Inf
 	// fitness rather than a measured RMSE).
 	QuarNaN          int // state became NaN mid-simulation
@@ -231,6 +244,10 @@ type Stats struct {
 	QuarDeadline     int // evaluation exceeded the per-evaluation deadline
 	QuarBadStructure int // derivation failed to derive/bind/compile
 }
+
+// PopHistBuckets is the number of power-of-two buckets of the cluster-size
+// histogram: sizes 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, and >64.
+const PopHistBuckets = 8
 
 // Quarantined returns the total number of quarantined evaluations.
 func (s Stats) Quarantined() int {
@@ -257,6 +274,13 @@ func (s *Stats) Add(o Stats) {
 	s.LanesFilled += o.LanesFilled
 	s.LaneShortCircuits += o.LaneShortCircuits
 	s.LaneCompactions += o.LaneCompactions
+	s.PopClusters += o.PopClusters
+	s.PopScalarFallbacks += o.PopScalarFallbacks
+	s.PopLaneBatches += o.PopLaneBatches
+	s.PopLanesFilled += o.PopLanesFilled
+	for i := range s.PopClusterSizeHist {
+		s.PopClusterSizeHist[i] += o.PopClusterSizeHist[i]
+	}
 	s.QuarNaN += o.QuarNaN
 	s.QuarInf += o.QuarInf
 	s.QuarDeadline += o.QuarDeadline
@@ -284,33 +308,47 @@ type counters struct {
 	lanesFilled    atomic.Int64
 	laneShortCircs atomic.Int64
 	laneCompacts   atomic.Int64
+	popClusters    atomic.Int64
+	popScalarFalls atomic.Int64
+	popLaneBatches atomic.Int64
+	popLanesFilled atomic.Int64
+	popClusterHist [PopHistBuckets]atomic.Int64
 	quarantine     [numReasons]atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
+	var hist [PopHistBuckets]int
+	for i := range c.popClusterHist {
+		hist[i] = int(c.popClusterHist[i].Load())
+	}
 	return Stats{
-		Evaluations:       int(c.evaluations.Load()),
-		FullEvals:         int(c.fullEvals.Load()),
-		ShortCircuits:     int(c.shortCircuits.Load()),
-		CacheHits:         int(c.cacheHits.Load()),
-		Tier1Hits:         int(c.tier1Hits.Load()),
-		Derives:           int(c.derives.Load()),
-		Compiles:          int(c.compiles.Load()),
-		StepsEvaluated:    int(c.stepsEvaluated.Load()),
-		StepsPossible:     int(c.stepsPossible.Load()),
-		ExogPlanBuilds:    int(c.exogPlanBuilds.Load()),
-		ExogPlanHits:      int(c.exogPlanHits.Load()),
-		RegsHoisted:       int(c.regsHoisted.Load()),
-		BatchCalls:        int(c.batchCalls.Load()),
-		BatchMembers:      int(c.batchMembers.Load()),
-		LaneBatches:       int(c.laneBatches.Load()),
-		LanesFilled:       int(c.lanesFilled.Load()),
-		LaneShortCircuits: int(c.laneShortCircs.Load()),
-		LaneCompactions:   int(c.laneCompacts.Load()),
-		QuarNaN:           int(c.quarantine[ReasonNaN].Load()),
-		QuarInf:           int(c.quarantine[ReasonInf].Load()),
-		QuarDeadline:      int(c.quarantine[ReasonDeadline].Load()),
-		QuarBadStructure:  int(c.quarantine[ReasonBadStructure].Load()),
+		Evaluations:        int(c.evaluations.Load()),
+		FullEvals:          int(c.fullEvals.Load()),
+		ShortCircuits:      int(c.shortCircuits.Load()),
+		CacheHits:          int(c.cacheHits.Load()),
+		Tier1Hits:          int(c.tier1Hits.Load()),
+		Derives:            int(c.derives.Load()),
+		Compiles:           int(c.compiles.Load()),
+		StepsEvaluated:     int(c.stepsEvaluated.Load()),
+		StepsPossible:      int(c.stepsPossible.Load()),
+		ExogPlanBuilds:     int(c.exogPlanBuilds.Load()),
+		ExogPlanHits:       int(c.exogPlanHits.Load()),
+		RegsHoisted:        int(c.regsHoisted.Load()),
+		BatchCalls:         int(c.batchCalls.Load()),
+		BatchMembers:       int(c.batchMembers.Load()),
+		LaneBatches:        int(c.laneBatches.Load()),
+		LanesFilled:        int(c.lanesFilled.Load()),
+		LaneShortCircuits:  int(c.laneShortCircs.Load()),
+		LaneCompactions:    int(c.laneCompacts.Load()),
+		PopClusters:        int(c.popClusters.Load()),
+		PopScalarFallbacks: int(c.popScalarFalls.Load()),
+		PopLaneBatches:     int(c.popLaneBatches.Load()),
+		PopLanesFilled:     int(c.popLanesFilled.Load()),
+		PopClusterSizeHist: hist,
+		QuarNaN:            int(c.quarantine[ReasonNaN].Load()),
+		QuarInf:            int(c.quarantine[ReasonInf].Load()),
+		QuarDeadline:       int(c.quarantine[ReasonDeadline].Load()),
+		QuarBadStructure:   int(c.quarantine[ReasonBadStructure].Load()),
 	}
 }
 
@@ -333,6 +371,13 @@ func (c *counters) reset() {
 	c.lanesFilled.Store(0)
 	c.laneShortCircs.Store(0)
 	c.laneCompacts.Store(0)
+	c.popClusters.Store(0)
+	c.popScalarFalls.Store(0)
+	c.popLaneBatches.Store(0)
+	c.popLanesFilled.Store(0)
+	for i := range c.popClusterHist {
+		c.popClusterHist[i].Store(0)
+	}
 	for i := range c.quarantine {
 		c.quarantine[i].Store(0)
 	}
@@ -394,13 +439,27 @@ type evalScratch struct {
 	key        []byte
 	lane       []laneMember
 	laneParams [][]float64
+	// Cluster-path buffers (EvaluateCluster): ckeys holds every pending
+	// member's rendered tier-2 key back to back (laneMember.keyOff/keyLen
+	// index into it, so finalize can insert without re-rendering); dups
+	// collects intra-cluster (structure, params) duplicates, resolved as
+	// cache hits after their source member commits.
+	ckeys []byte
+	dups  []dupPair
+}
+
+// dupPair marks an intra-cluster duplicate: dst's (structure, params) key is
+// byte-identical to a pending member's, so dst adopts src's committed result
+// as a tier-2 cache hit (what sequential evaluation order would produce).
+type dupPair struct {
+	dst, src *gp.Individual
 }
 
 // laneMember is the per-member accumulator of one lane-batched evaluation:
 // the same running state the scalar simulate keeps in closure locals, held
 // per lane so one hook can drive all members of a KernelLanes launch.
 type laneMember struct {
-	idx    int // index into the caller's out slice
+	idx    int // index into the caller's out (or inds) slice
 	params []float64
 	poison int // fault-injected NaN step, -1 when clean
 	sse    float64
@@ -408,6 +467,13 @@ type laneMember struct {
 	short  float64 // extrapolated surrogate fitness when scd
 	scd    bool
 	reason Reason
+
+	// Cluster-path bookkeeping (EvaluateCluster): the member's tier-2 key
+	// within evalScratch.ckeys and its fault/shard site hash, kept so the
+	// finalize loop can insert the simulated fitness into the tier-2 cache
+	// exactly like the scalar path. Unused by EvaluateParamBatch.
+	keyOff, keyLen int
+	site           uint64
 }
 
 // cacheEntry is a tier-2 record: the memoized fitness of one
@@ -561,6 +627,17 @@ type Snapshot struct {
 	LaneShortCircuits int `json:"lane_short_circuits"`
 	LaneCompactions   int `json:"lane_compactions"`
 
+	// Structure-clustered population-scheduler telemetry (DESIGN.md §14):
+	// same-structure clusters the generation loop dispatched through the
+	// lane kernel, singleton scalar fallbacks, the lane launches the
+	// population path issued, and the power-of-two cluster-size histogram
+	// (buckets 1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, >64).
+	PopClusters        int                 `json:"pop_clusters"`
+	PopScalarFallbacks int                 `json:"pop_scalar_fallbacks"`
+	PopLaneBatches     int                 `json:"pop_lane_batches"`
+	PopLanesFilled     int                 `json:"pop_lanes_filled"`
+	PopClusterSizeHist [PopHistBuckets]int `json:"pop_cluster_size_hist"`
+
 	// Quarantine counters (omitted when zero, so fault-free streams keep
 	// their previous byte format).
 	QuarNaN          int `json:"quar_nan,omitempty"`
@@ -576,30 +653,35 @@ type Snapshot struct {
 func (e *Evaluator) Snapshot() Snapshot {
 	st := e.ctr.snapshot()
 	snap := Snapshot{
-		Evaluations:       st.Evaluations,
-		FullEvals:         st.FullEvals,
-		ShortCircuits:     st.ShortCircuits,
-		Tier1Hits:         st.Tier1Hits,
-		Tier1Misses:       st.Evaluations - st.Tier1Hits,
-		Tier2Hits:         st.CacheHits,
-		Tier2Misses:       st.Evaluations - st.CacheHits,
-		Derives:           st.Derives,
-		Compiles:          st.Compiles,
-		StepsEvaluated:    st.StepsEvaluated,
-		StepsPossible:     st.StepsPossible,
-		ExogPlanBuilds:    st.ExogPlanBuilds,
-		ExogPlanHits:      st.ExogPlanHits,
-		RegsHoisted:       st.RegsHoisted,
-		BatchCalls:        st.BatchCalls,
-		BatchMembers:      st.BatchMembers,
-		LaneBatches:       st.LaneBatches,
-		LanesFilled:       st.LanesFilled,
-		LaneShortCircuits: st.LaneShortCircuits,
-		LaneCompactions:   st.LaneCompactions,
-		QuarNaN:           st.QuarNaN,
-		QuarInf:           st.QuarInf,
-		QuarDeadline:      st.QuarDeadline,
-		QuarBadStructure:  st.QuarBadStructure,
+		Evaluations:        st.Evaluations,
+		FullEvals:          st.FullEvals,
+		ShortCircuits:      st.ShortCircuits,
+		Tier1Hits:          st.Tier1Hits,
+		Tier1Misses:        st.Evaluations - st.Tier1Hits,
+		Tier2Hits:          st.CacheHits,
+		Tier2Misses:        st.Evaluations - st.CacheHits,
+		Derives:            st.Derives,
+		Compiles:           st.Compiles,
+		StepsEvaluated:     st.StepsEvaluated,
+		StepsPossible:      st.StepsPossible,
+		ExogPlanBuilds:     st.ExogPlanBuilds,
+		ExogPlanHits:       st.ExogPlanHits,
+		RegsHoisted:        st.RegsHoisted,
+		BatchCalls:         st.BatchCalls,
+		BatchMembers:       st.BatchMembers,
+		LaneBatches:        st.LaneBatches,
+		LanesFilled:        st.LanesFilled,
+		LaneShortCircuits:  st.LaneShortCircuits,
+		LaneCompactions:    st.LaneCompactions,
+		PopClusters:        st.PopClusters,
+		PopScalarFallbacks: st.PopScalarFallbacks,
+		PopLaneBatches:     st.PopLaneBatches,
+		PopLanesFilled:     st.PopLanesFilled,
+		PopClusterSizeHist: st.PopClusterSizeHist,
+		QuarNaN:            st.QuarNaN,
+		QuarInf:            st.QuarInf,
+		QuarDeadline:       st.QuarDeadline,
+		QuarBadStructure:   st.QuarBadStructure,
 	}
 	if snap.Tier1Misses < 0 {
 		snap.Tier1Misses = 0
@@ -637,28 +719,43 @@ func (e *Evaluator) SetShortCircuitRef(f float64) {
 // Evaluate derives the individual's process, applies the configured
 // speedups, and stores the resulting fitness on the individual.
 func (e *Evaluator) Evaluate(ind *gp.Individual) {
-	fitness, full := e.evaluate(ind)
-	ind.Fitness = fitness
-	ind.Evaluated = true
-	ind.FullEval = full
-}
-
-func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
-	e.ctr.evaluations.Add(1)
-	e.ctr.stepsPossible.Add(int64(len(e.obs)))
-
 	sc := e.scratch.Get().(*evalScratch)
 	defer e.scratch.Put(sc)
 
 	if !e.opts.UseCache {
-		return e.evalUncached(ind, ind.Params, sc)
+		e.ctr.evaluations.Add(1)
+		e.ctr.stepsPossible.Add(int64(len(e.obs)))
+		fitness, full := e.evalUncached(ind, ind.Params, sc)
+		ind.Fitness, ind.Evaluated, ind.FullEval = fitness, true, full
+		return
 	}
 
 	ent, key := e.structFor(ind)
 	if ent == nil || ent.bad {
-		e.ctr.quarantineCount(ReasonBadStructure)
-		return math.Inf(1), true
+		e.markBadStructure(ind)
+		return
 	}
+	e.evaluateResolved(ind, ent, key, sc)
+}
+
+// markBadStructure quarantines an individual whose structure failed to
+// derive, bind, or compile, with the same counter trail as a scalar
+// evaluation of it (evaluation counted, no fault injection, no simulation).
+func (e *Evaluator) markBadStructure(ind *gp.Individual) {
+	e.ctr.evaluations.Add(1)
+	e.ctr.stepsPossible.Add(int64(len(e.obs)))
+	e.ctr.quarantineCount(ReasonBadStructure)
+	ind.Fitness, ind.Evaluated, ind.FullEval = math.Inf(1), true, true
+}
+
+// evaluateResolved is the cached evaluation pipeline after structure
+// resolution: tier-2 lookup, fault injection, simulation, quarantine
+// classification, and the tier-2 insert. Shared by Evaluate (which resolves
+// via structFor) and EvaluateCluster's scalar path (whose members were
+// resolved up front by ResolveStruct).
+func (e *Evaluator) evaluateResolved(ind *gp.Individual, ent *structEntry, key string, sc *evalScratch) {
+	e.ctr.evaluations.Add(1)
+	e.ctr.stepsPossible.Add(int64(len(e.obs)))
 
 	// Tier 2: (structure, params) → fitness. The key is rendered into
 	// per-goroutine scratch; map lookups with string(kb) do not
@@ -676,7 +773,8 @@ func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
 	if hit, ok := sh.fits[string(kb)]; ok {
 		sh.mu.Unlock()
 		e.ctr.cacheHits.Add(1)
-		return hit.fitness, hit.full
+		ind.Fitness, ind.Evaluated, ind.FullEval = hit.fitness, true, hit.full
+		return
 	}
 	sh.mu.Unlock()
 
@@ -686,15 +784,14 @@ func (e *Evaluator) evaluate(ind *gp.Individual) (float64, bool) {
 
 	// Deadline aborts depend on wall-clock time; caching one would make
 	// a transient stall permanent for that (structure, params) pair.
-	if reason == ReasonDeadline {
-		return fitness, full
+	if reason != ReasonDeadline {
+		sh.mu.Lock()
+		if _, ok := sh.fits[string(kb)]; !ok {
+			sh.fits[string(kb)] = cacheEntry{fitness, full}
+		}
+		sh.mu.Unlock()
 	}
-	sh.mu.Lock()
-	if _, ok := sh.fits[string(kb)]; !ok {
-		sh.fits[string(kb)] = cacheEntry{fitness, full}
-	}
-	sh.mu.Unlock()
-	return fitness, full
+	ind.Fitness, ind.Evaluated, ind.FullEval = fitness, true, full
 }
 
 // evalUncached is the cache-free pipeline (the Fig 10 ablation baseline):

@@ -40,6 +40,23 @@ func (e *Evaluator) RegisterObs(r *obs.Registry, family string, labels obs.Label
 	reg("lanes_filled", func(s Snapshot) int { return s.LanesFilled })
 	reg("lane_short_circuits", func(s Snapshot) int { return s.LaneShortCircuits })
 	reg("lane_compactions", func(s Snapshot) int { return s.LaneCompactions })
+	reg("pop_clusters", func(s Snapshot) int { return s.PopClusters })
+	reg("pop_scalar_fallbacks", func(s Snapshot) int { return s.PopScalarFallbacks })
+	reg("pop_lane_batches", func(s Snapshot) int { return s.PopLaneBatches })
+	reg("pop_lanes_filled", func(s Snapshot) int { return s.PopLanesFilled })
+	// Cluster-size histogram: one series per power-of-two bucket, labeled
+	// by the bucket's inclusive upper bound (Prometheus-style `le`).
+	bounds := [PopHistBuckets]string{"1", "2", "4", "8", "16", "32", "64", "+Inf"}
+	for i, le := range bounds {
+		i := i
+		ls := obs.Labels{"counter": "pop_cluster_size", "le": le}
+		for k, v := range labels {
+			ls[k] = v
+		}
+		r.CounterFunc(family, help, ls, func() float64 {
+			return float64(e.Snapshot().PopClusterSizeHist[i])
+		})
+	}
 	reg("quar_nan", func(s Snapshot) int { return s.QuarNaN })
 	reg("quar_inf", func(s Snapshot) int { return s.QuarInf })
 	reg("quar_deadline", func(s Snapshot) int { return s.QuarDeadline })

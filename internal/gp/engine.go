@@ -87,6 +87,13 @@ type Config struct {
 	// expert parameter values that model revision receives as input
 	// along with the initial structure).
 	InitParams []float64
+	// NoCluster disables the structure-clustered population scheduler
+	// (DESIGN.md §14): every individual becomes a singleton cluster, so
+	// generation evaluation runs through the scalar path of the identical
+	// code path (the -nocluster ablation). It changes performance only;
+	// fitnesses, quarantine decisions, and RNG streams are bitwise
+	// identical either way.
+	NoCluster bool
 	// SeedIndividuals are cloned into the initial population before the
 	// random derivations are drawn (e.g. the unrevised input process
 	// itself, so the search starts no worse than its knowledge-based
@@ -195,7 +202,21 @@ type Engine struct {
 	cfg  Config
 	g    *tag.Grammar
 	eval Evaluator
-	rng  *stats.RNG
+	// ce is eval's ClusterEvaluator facet, resolved once at construction;
+	// nil when eval does not implement it (legacy per-individual dispatch).
+	ce  ClusterEvaluator
+	rng *stats.RNG
+
+	// Cluster-partition scratch, reused across generations so the
+	// steady-state dispatch path of evaluatePop allocates nothing: the
+	// flat cluster-grouped member order, per-cluster end offsets, the
+	// key→cluster index, per-member cluster ids, and placement cursors.
+	clusterOrder  []*Individual
+	clusterEnds   []int
+	clusterIdx    map[string]int
+	clusterID     []int
+	clusterCounts []int
+	clusterCur    []int
 
 	evaluations int
 
@@ -257,15 +278,21 @@ func (e *Engine) noteProgress() {
 	e.obsEvals.Store(int64(e.evaluations))
 }
 
-// evalJob is one unit of work for the evaluation worker pool: either a
+// evalJob is one unit of work for the evaluation worker pool: a
 // self-contained closure (run, used by batched champion refinement to score
-// a chunk of parameter proposals), or an individual to evaluate followed by
-// the optional follow-up (local search) with the job's pre-split RNG stream.
+// a chunk of parameter proposals), a structure-resolution job (resolve,
+// phase 0 of the clustered scheduler), a same-structure cluster chunk to
+// lane-batch (cluster, phase 1), or an individual to evaluate followed by
+// the optional follow-up (local search) with the job's pre-split RNG
+// stream. resolve and cluster are plain fields rather than closures so the
+// per-generation dispatch allocates nothing.
 type evalJob struct {
 	ind      *Individual
 	rng      *rand.Rand
 	followUp func(*Individual, *rand.Rand) int
 	run      func() int
+	resolve  *Individual
+	cluster  []*Individual
 	wg       *sync.WaitGroup
 	evals    *atomic.Int64
 }
@@ -316,6 +343,16 @@ func (e *Engine) runJob(j evalJob) {
 	}()
 	if j.run != nil {
 		n = j.run()
+		j.evals.Add(int64(n))
+		return
+	}
+	if j.resolve != nil {
+		e.ce.ResolveStruct(j.resolve)
+		return
+	}
+	if j.cluster != nil {
+		e.runCluster(j.cluster)
+		n = len(j.cluster)
 		j.evals.Add(int64(n))
 		return
 	}
@@ -372,6 +409,7 @@ func NewEngine(g *tag.Grammar, eval Evaluator, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("gp: population size %d too small", cfg.PopSize)
 	}
 	e := &Engine{cfg: cfg, g: g, eval: eval, rng: stats.NewRNG(cfg.Seed)}
+	e.ce, _ = eval.(ClusterEvaluator)
 	e.obsBest.Store(math.Float64bits(math.Inf(1)))
 	return e, nil
 }
@@ -735,18 +773,19 @@ func (e *Engine) refineElite(ind *Individual, sigma float64) {
 	}
 }
 
-// refineChunk is the fan-out granularity of batched champion refinement:
-// parameter-only proposals are scored through the evaluator's batch API in
-// chunks of this size, each dispatched to the worker pool as one job. The
-// size matches expr.Lanes so each chunk fills one lane-batched kernel
-// dispatch, and it is a constant (never derived from Workers), so the work
-// partition — and therefore every evaluated fitness — is identical for any
-// worker count, preserving the Workers=1-vs-N determinism contract.
-const refineChunk = 8
+// laneChunk is the fan-out granularity of batched evaluation: both champion
+// refinement and the clustered population scheduler split same-structure
+// member lists into chunks of this size, each dispatched to the worker pool
+// as one job. The size matches expr.Lanes so each chunk fills one
+// lane-batched kernel dispatch, and it is a constant (never derived from
+// Workers), so the work partition — and therefore every evaluated fitness —
+// is identical for any worker count, preserving the Workers=1-vs-N
+// determinism contract.
+const laneChunk = 8
 
 // evaluateProposals scores one round of refinement proposals. Proposals
 // that kept the champion's memoized structure key are parameter-only moves
-// over one structure and go through the batch API in refineChunk-sized
+// over one structure and go through the batch API in laneChunk-sized
 // chunks; literal perturbations (cleared key) need the full per-individual
 // pipeline and are dispatched as ordinary evaluation jobs.
 func (e *Engine) evaluateProposals(be BatchEvaluator, base *Individual, cands []*Individual) {
@@ -764,8 +803,8 @@ func (e *Engine) evaluateProposals(be BatchEvaluator, base *Individual, cands []
 	}
 	var wg sync.WaitGroup
 	var evals atomic.Int64 // refineElite counts proposals deterministically; this absorbs job accounting
-	for start := 0; start < len(batch); start += refineChunk {
-		end := start + refineChunk
+	for start := 0; start < len(batch); start += laneChunk {
+		end := start + laneChunk
 		if end > len(batch) {
 			end = len(batch)
 		}
@@ -826,21 +865,220 @@ func (e *Engine) runParamChunk(be BatchEvaluator, base *Individual, chunk []*Ind
 // batch. RNG streams are pre-split per individual, in population order and
 // before any job is dispatched, so the run is deterministic regardless of
 // scheduling and worker count.
+//
+// With a ClusterEvaluator the batch runs through the structure-clustered
+// scheduler (DESIGN.md §14): resolve+memoize every structure key in
+// parallel, partition the population by key, and score each cluster through
+// the lane-batched kernel in laneChunk-sized jobs. The partition depends
+// only on the memoized keys (fixed before any evaluation is dispatched),
+// and per-member semantics inside a cluster equal sequential scalar
+// evaluation, so fitnesses stay bitwise identical to the per-individual
+// path for any worker count.
 func (e *Engine) evaluatePop(pop []*Individual, followUp func(*Individual, *rand.Rand) int) {
-	rngs := make([]*rand.Rand, len(pop))
-	for i := range pop {
-		rngs[i] = stats.Split(e.rng.Rand)
+	// The per-individual RNG streams feed only the follow-up (local
+	// search), and splitting one stream per member is measurable against a
+	// lane-batched evaluation, so the split is skipped entirely when there
+	// is no follow-up. The gate sits before the mode branch: both
+	// scheduler modes draw the identical streams (or none), preserving
+	// worker-count and cluster/scalar bitwise parity.
+	var rngs []*rand.Rand
+	if followUp != nil {
+		rngs = make([]*rand.Rand, len(pop))
+		for i := range pop {
+			rngs[i] = stats.Split(e.rng.Rand)
+		}
 	}
 	e.eval.BeginBatch()
 	var wg sync.WaitGroup
 	var evals atomic.Int64
-	wg.Add(len(pop))
-	for i, ind := range pop {
-		e.jobCh <- evalJob{ind: ind, rng: rngs[i], followUp: followUp, wg: &wg, evals: &evals}
+	if e.ce == nil {
+		wg.Add(len(pop))
+		for i, ind := range pop {
+			var rng *rand.Rand
+			if rngs != nil {
+				rng = rngs[i]
+			}
+			e.jobCh <- evalJob{ind: ind, rng: rng, followUp: followUp, wg: &wg, evals: &evals}
+		}
+		wg.Wait()
+		e.eval.EndBatch()
+		e.evaluations += int(evals.Load())
+		return
+	}
+	// Phase 0: resolve and memoize every unevaluated individual's structure
+	// key in parallel. This is the counted resolution step of a scalar
+	// Evaluate call (tier-1 hit or derive+compile), hoisted ahead of the
+	// partition; EvaluateCluster will not resolve again.
+	for _, ind := range pop {
+		if ind.Evaluated {
+			continue
+		}
+		wg.Add(1)
+		e.jobCh <- evalJob{resolve: ind, wg: &wg, evals: &evals}
 	}
 	wg.Wait()
+	// Phase 1: partition by memoized key (population order, first-seen
+	// cluster order — worker-count independent) and fan each cluster out in
+	// laneChunk-sized jobs, one lane-batched kernel dispatch per job.
+	order, ends := e.clusterPop(pop)
+	start := 0
+	for _, end := range ends {
+		cluster := order[start:end]
+		start = end
+		for cs := 0; cs < len(cluster); cs += laneChunk {
+			chunk := cluster[cs:min(cs+laneChunk, len(cluster))]
+			wg.Add(1)
+			e.jobCh <- evalJob{cluster: chunk, wg: &wg, evals: &evals}
+		}
+	}
+	wg.Wait()
+	// Phase 2: the follow-up (local search) runs per individual with the
+	// pre-split RNG streams, exactly as on the per-individual path.
+	if followUp != nil {
+		wg.Add(len(pop))
+		for i, ind := range pop {
+			e.jobCh <- evalJob{ind: ind, rng: rngs[i], followUp: followUp, wg: &wg, evals: &evals}
+		}
+		wg.Wait()
+	}
 	e.eval.EndBatch()
 	e.evaluations += int(evals.Load())
+}
+
+// clusterPop partitions the population's unevaluated individuals into
+// same-structure clusters: members sharing a memoized structure key group
+// together (population order within a cluster, first-seen order across
+// clusters); key-less individuals (failed derivations) are singletons.
+// Under Config.NoCluster every individual is a singleton, which routes the
+// whole generation through EvaluateCluster's scalar path — the ablation
+// exercises the identical code path minus the lane batching.
+// The partition is returned as a flat cluster-grouped member order plus
+// per-cluster end offsets, built in reusable engine scratch — the steady
+// state allocates nothing.
+func (e *Engine) clusterPop(pop []*Individual) (order []*Individual, ends []int) {
+	counts := e.clusterCounts[:0]
+	ids := e.clusterID[:0]
+	if e.cfg.NoCluster {
+		order = e.clusterOrder[:0]
+		ends = e.clusterEnds[:0]
+		for _, ind := range pop {
+			if ind.Evaluated {
+				continue
+			}
+			order = append(order, ind)
+			ends = append(ends, len(order))
+			e.ce.NoteCluster(1)
+		}
+		e.clusterOrder, e.clusterEnds = order, ends
+		return order, ends
+	}
+	if e.clusterIdx == nil {
+		e.clusterIdx = make(map[string]int, len(pop))
+	} else {
+		clear(e.clusterIdx)
+	}
+	// Pass 1: assign each unevaluated member a cluster id (first-seen
+	// order; key-less members get a fresh singleton id) and count sizes.
+	for _, ind := range pop {
+		if ind.Evaluated {
+			continue
+		}
+		key := ind.StructKey()
+		if key == "" {
+			ids = append(ids, len(counts))
+			counts = append(counts, 1)
+			continue
+		}
+		j, ok := e.clusterIdx[key]
+		if !ok {
+			j = len(counts)
+			e.clusterIdx[key] = j
+			counts = append(counts, 0)
+		}
+		ids = append(ids, j)
+		counts[j]++
+	}
+	// Prefix the sizes into end offsets and placement cursors.
+	ends = e.clusterEnds[:0]
+	cur := e.clusterCur[:0]
+	off := 0
+	for _, c := range counts {
+		e.ce.NoteCluster(c)
+		cur = append(cur, off)
+		off += c
+		ends = append(ends, off)
+	}
+	// Pass 2: place members into their cluster's run, population order
+	// within each cluster.
+	order = e.clusterOrder
+	if cap(order) < off {
+		order = make([]*Individual, off, len(pop))
+	}
+	order = order[:off]
+	k := 0
+	for _, ind := range pop {
+		if ind.Evaluated {
+			continue
+		}
+		id := ids[k]
+		k++
+		order[cur[id]] = ind
+		cur[id]++
+	}
+	e.clusterOrder, e.clusterEnds = order, ends
+	e.clusterCounts, e.clusterID, e.clusterCur = counts, ids, cur
+	return order, ends
+}
+
+// runCluster scores one cluster chunk with panic isolation. EvaluateCluster
+// commits every member preceding a panicking one (see the ClusterEvaluator
+// panic protocol), so on recovery the first still-unevaluated member is the
+// panicker: quarantine it — same decision, same +Inf as the scalar path's
+// safeEvaluate — and re-invoke on the remainder until the chunk is done.
+func (e *Engine) runCluster(chunk []*Individual) {
+	for {
+		ok := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					ok = false
+				}
+			}()
+			e.ce.EvaluateCluster(chunk)
+			return true
+		}()
+		if ok {
+			return
+		}
+		var rest []*Individual
+		for _, ind := range chunk {
+			if !ind.Evaluated {
+				rest = append(rest, ind)
+			}
+		}
+		if len(rest) == 0 {
+			return // panic after every member committed (not the protocol, but terminal)
+		}
+		e.quarantine(rest[0])
+		if len(rest) == 1 {
+			return
+		}
+		chunk = rest[1:]
+	}
+}
+
+// EvaluatePopulation evaluates every unevaluated individual of pop through
+// the engine's generation evaluation path (the clustered scheduler when the
+// evaluator supports it, per-individual jobs otherwise), launching the
+// worker pool if Start has not run. With no follow-up it draws no RNG
+// splits, exactly like a generation's evaluation phase. Exported for
+// benchmarks and differential tests that drive the population path without
+// a full run; call Close to release the pool.
+func (e *Engine) EvaluatePopulation(pop []*Individual) {
+	if e.jobCh == nil {
+		e.stopWorkers = e.startWorkers()
+	}
+	e.evaluatePop(pop, nil)
+	e.noteProgress()
 }
 
 func (e *Engine) genStats(gen int, pop []*Individual) GenStats {

@@ -145,6 +145,39 @@ type BatchEvaluator interface {
 	EvaluateParamBatch(ind *Individual, params [][]float64, out []BatchResult) []BatchResult
 }
 
+// ClusterEvaluator is optionally implemented by batch evaluators that can
+// score whole same-structure clusters of individuals in one call. The
+// engine's generation loop uses it to partition each population by memoized
+// structure key and dispatch every cluster through the lane-batched kernel
+// (DESIGN.md §14); evaluators without it fall back to per-individual jobs.
+type ClusterEvaluator interface {
+	BatchEvaluator
+	// ResolveStruct resolves the individual's executable structure through
+	// the evaluator's structure cache and memoizes the canonical key on the
+	// individual (StructKey), without simulating. It must count exactly the
+	// resolution work that the front of a plain Evaluate call would count,
+	// because EvaluateCluster skips that step: one ResolveStruct followed by
+	// one EvaluateCluster must leave the same counter trail as Evaluate.
+	ResolveStruct(ind *Individual)
+	// NoteCluster records one scheduled evaluation cluster of the given
+	// size (telemetry only: cluster counts, scalar fallbacks, and the
+	// cluster-size histogram).
+	NoteCluster(size int)
+	// EvaluateCluster scores the unevaluated individuals of one cluster —
+	// all sharing one memoized structure key, or a single key-less
+	// individual — with semantics equivalent to sequential Evaluate calls
+	// in slice order: identical fitnesses, quarantine classification,
+	// fault-injection sites, and tier-2 cache interactions. Already
+	// evaluated members are skipped.
+	//
+	// Panic protocol: when a member's evaluation panics (injected faults),
+	// the implementation commits every earlier member's result before the
+	// panic escapes, so the first unevaluated member in slice order is the
+	// panicker. The engine quarantines it and re-invokes EvaluateCluster
+	// on the remainder.
+	EvaluateCluster(inds []*Individual)
+}
+
 // Prior is the Gaussian-mutation prior of one constant parameter: its
 // expected value and exploration bounds (a Table III row), per Section
 // III-B3.

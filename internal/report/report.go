@@ -66,6 +66,14 @@ func Write(w io.Writer, ds *dataset.Dataset, res *core.Result, opts Options) err
 			fmt.Fprintf(w, "lane kernel: %d batches, %.1f avg lanes filled, %d lane short circuits\n",
 				st.LaneBatches, float64(st.LanesFilled)/float64(st.LaneBatches), st.LaneShortCircuits)
 		}
+		if st.PopClusters > 0 || st.PopScalarFallbacks > 0 {
+			fill := 0.0
+			if st.PopLaneBatches > 0 {
+				fill = float64(st.PopLanesFilled) / float64(st.PopLaneBatches)
+			}
+			fmt.Fprintf(w, "pop scheduler: %d clusters, %d scalar fallbacks, %d lane batches (%.1f avg fill)\n",
+				st.PopClusters, st.PopScalarFallbacks, st.PopLaneBatches, fill)
+		}
 		fmt.Fprintln(w)
 	}
 
