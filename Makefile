@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz chaos bench bench-smoke bencheval bench-diff servebench serve-smoke cover-obs check clean
+.PHONY: all build vet test race fuzz chaos bench bench-smoke bencheval bench-diff servebench ensemblebench serve-smoke cover-obs check clean
 
 all: check
 
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -fuzz FuzzLaneKernelVsScalar -fuzztime $(FUZZTIME) ./internal/bio/
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/gp/
 	$(GO) test -fuzz FuzzPromExposition -fuzztime $(FUZZTIME) ./internal/obs/
+	$(GO) test -fuzz FuzzForecastRequestDecode -fuzztime $(FUZZTIME) ./internal/serve/api/
 
 # chaos runs the fault-injection suite (injected panics, NaN poison,
 # checkpoint truncation, resume-under-faults determinism) and the
@@ -55,6 +56,8 @@ bench-smoke:
 	$(GO) test -run xxx -bench EvaluatePop -benchtime 1x .
 	$(GO) run ./cmd/riverbench -exp servebench -serve-duration 200ms \
 		-serve-out /tmp/BENCH_SERVE.smoke.json
+	$(GO) run ./cmd/riverbench -exp ensemblebench -serve-duration 200ms \
+		-serve-out /tmp/BENCH_SERVE.smoke.json
 
 # bencheval snapshots evaluator cold / tier-1 / param-batch / tier-2
 # numbers and cache hit rates into BENCH_EVAL.json (the README performance
@@ -64,11 +67,16 @@ bencheval:
 
 # bench-diff re-measures the hot path and fails if any benchmark regresses
 # more than 15% in ns/op — or allocates at all more — against the committed
-# BENCH_EVAL.json. The fresh numbers land in /tmp so the baseline is only
-# updated deliberately (via `make bencheval`).
+# BENCH_EVAL.json, then re-measures ensemble serving and fails if the fresh
+# run or the committed BENCH_SERVE.json ensemble_* rows fall below the 0.90
+# mean-lane-fill floor or lose bitwise determinism. Fresh numbers land in
+# /tmp so the baselines are only updated deliberately (via `make bencheval`
+# / `make ensemblebench`).
 bench-diff:
 	$(GO) run ./cmd/riverbench -exp bencheval \
 		-bench-out /tmp/BENCH_EVAL.head.json -baseline BENCH_EVAL.json
+	$(GO) run ./cmd/riverbench -exp ensemblebench -serve-duration 500ms \
+		-serve-out /tmp/BENCH_SERVE.head.json -serve-baseline BENCH_SERVE.json
 
 # servebench measures the forecast-serving subsystem under closed-loop
 # load (1/8/64 clients, batched vs -serve-nobatch ablation) and writes
@@ -77,8 +85,17 @@ bench-diff:
 servebench:
 	$(GO) run ./cmd/riverbench -exp servebench
 
-# serve-smoke boots the gmrd daemon on a random port, hits /healthz and
-# one /v1/forecast, and drains it — the CI serving smoke job.
+# ensemblebench measures posterior-ensemble forecasting (8/64/256 members,
+# full-year horizon) and merges the ensemble_* throughput and lane-fill
+# rows into BENCH_SERVE.json. Fails if any row's mean lane fill is below
+# 0.90 or band forecasts differ across worker counts / the no-batch
+# ablation.
+ensemblebench:
+	$(GO) run ./cmd/riverbench -exp ensemblebench
+
+# serve-smoke boots the gmrd daemon on a random port, hits /healthz, one
+# /v1/forecast, and one /v2/forecast ensemble request (typed-envelope
+# error path included), and drains it — the CI serving smoke job.
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count 1 ./cmd/gmrd/
 

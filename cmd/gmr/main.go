@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"gmr/internal/bio"
+	"gmr/internal/calib"
 	"gmr/internal/core"
 	"gmr/internal/dataset"
 	"gmr/internal/evalx"
@@ -70,6 +72,7 @@ func main() {
 		analyze   = flag.Bool("analyze", true, "run the variable-selectivity analysis")
 		savePath  = flag.String("save", "", "write the best revised model (derivation + parameters) to this JSON file")
 		exportTo  = flag.String("export-model", "", "write the best model as a deployable bundle (gmrd serve registry format) to this JSON file")
+		posterior = flag.Int("posterior", 0, "with -export-model, retain up to N posterior parameter samples around the champion's structure (DREAM over the training window) for ensemble forecasting")
 
 		islands     = flag.Int("islands", 0, "run as an island model with this many islands (0 = sequential runs)")
 		migEvery    = flag.Int("migrate-every", 0, "generations between elite migrations (0 = default 5, <0 disables)")
@@ -260,6 +263,44 @@ func main() {
 		}
 		bundle.TrainRMSE = res.TrainRMSE
 		bundle.TestRMSE = res.TestRMSE
+		// -posterior N samples the parameter posterior around the champion's
+		// structure: the GP winner's equations are frozen and DREAM explores
+		// only the Table III parameter box against training RMSE, retaining a
+		// bounded, deterministically thinned set of post-burn-in chain states
+		// (DESIGN.md §15). The retained states ship inside the bundle,
+		// digest-guarded, for gmrd's ensemble forecasts.
+		if *posterior > 0 {
+			phy, zoo, err := evalx.ModelExprs(res.Best)
+			if err != nil {
+				fatal(err)
+			}
+			consts := bio.DefaultConstants()
+			if err := grammar.BindSystem(phy, zoo, consts); err != nil {
+				fatal(err)
+			}
+			seg, err := bio.NewSegSystem(phy, zoo)
+			if err != nil {
+				fatal(err)
+			}
+			budget := 8 * *posterior
+			if budget < 2048 {
+				budget = 2048
+			}
+			fmt.Printf("sampling posterior: DREAM, budget %d, burn-in %d, retaining ≤%d states...\n",
+				budget, budget/2, *posterior)
+			lo, hi := calib.Box(consts)
+			dr := calib.NewDREAM()
+			dr.Record = calib.NewPosteriorRecorder(*posterior, budget/2)
+			obj := calib.StructureBatchObjective(seg, ds.TrainForcing(), ds.TrainObsPhy(), sim)
+			dr.CalibrateBatch(obj, lo, hi, budget, rand.New(rand.NewSource(*seed)))
+			post := dr.Record.Posterior()
+			if post == nil || len(post.Samples) == 0 {
+				fatal(fmt.Errorf("posterior sampling retained no states"))
+			}
+			bundle.Posterior = gp.NewBundlePosterior("DREAM", post.Samples)
+			fmt.Printf("posterior: retained %d of %d post-burn-in states (stride %d)\n",
+				len(post.Samples), post.Seen, post.Stride)
+		}
 		f, err := os.Create(*exportTo)
 		if err != nil {
 			fatal(err)

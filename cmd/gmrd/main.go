@@ -8,7 +8,10 @@
 //	    [-queue 256] [-workers 0] [-cache 1024] [-plan-cache 128]
 //	    [-request-timeout 10s] [-drain-timeout 10s]
 //
-// Endpoints: POST /v1/forecast, GET /v1/models, POST /v1/reload,
+// Endpoints: POST /v2/forecast (point or posterior-ensemble forecasts,
+// strict decoding, typed error envelope), GET /v2/models, POST /v2/reload;
+// POST /v1/forecast, GET /v1/models, POST /v1/reload (compatibility
+// adapters, pinned byte-for-byte to the pre-v2 responses);
 // GET /healthz, GET /readyz, GET /metrics (Prometheus text),
 // GET /debug/spans (span ring), GET /debug/pprof/* (runtime profiles).
 //

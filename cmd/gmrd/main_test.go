@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -21,9 +22,10 @@ import (
 )
 
 // TestServeSmoke boots the daemon on a random port against a temp model
-// directory, exercises /healthz, /readyz, and one /v1/forecast, then
-// drains it via context cancellation (the SIGTERM path). This is the CI
-// serve-smoke job.
+// directory (champion bundle with a retained posterior), exercises
+// /healthz, /readyz, one /v1/forecast, one /v2/forecast ensemble request,
+// and the /v2 typed-envelope error path, then drains it via context
+// cancellation (the SIGTERM path). This is the CI serve-smoke job.
 func TestServeSmoke(t *testing.T) {
 	dir := t.TempDir()
 	ind, g, err := core.ManualIndividual(core.Config{})
@@ -35,6 +37,25 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A small retained posterior (the baseline parameters jittered inside
+	// the Table III box) so the /v2 ensemble path is exercised too.
+	consts := bio.DefaultConstants()
+	rng := rand.New(rand.NewSource(11))
+	samples := make([][]float64, 16)
+	for i := range samples {
+		v := append([]float64(nil), ind.Params...)
+		for j := range v {
+			v[j] += 0.05 * (consts[j].Max - consts[j].Min) * (rng.Float64() - 0.5)
+			if v[j] < consts[j].Min {
+				v[j] = consts[j].Min
+			}
+			if v[j] > consts[j].Max {
+				v[j] = consts[j].Max
+			}
+		}
+		samples[i] = v
+	}
+	bundle.Posterior = gp.NewBundlePosterior("DREAM", samples)
 	var buf bytes.Buffer
 	if err := bundle.Write(&buf); err != nil {
 		t.Fatal(err)
@@ -99,6 +120,59 @@ func TestServeSmoke(t *testing.T) {
 		}
 	}
 
+	// /v2/forecast: an ensemble request against the same model returns
+	// quantile bands computed through the lane kernel.
+	body, _ = json.Marshal(map[string]any{
+		"days":     21,
+		"ensemble": map[string]any{"members": 16},
+	})
+	resp, err = http.Post(base+"/v2/forecast", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 forecast: status %d: %s", resp.StatusCode, rb)
+	}
+	var er serve.ForecastResponse
+	if err := json.Unmarshal(rb, &er); err != nil {
+		t.Fatalf("v2 forecast body %q: %v", rb, err)
+	}
+	if er.Ensemble == nil || er.Ensemble.Survivors != 16 {
+		t.Fatalf("v2 forecast has no full ensemble block: %s", rb)
+	}
+	for _, band := range []string{"q05", "q50", "q95"} {
+		if len(er.Ensemble.Bands[band]) != 21 {
+			t.Fatalf("v2 forecast band %s: %d days, want 21", band, len(er.Ensemble.Bands[band]))
+		}
+	}
+
+	// /v2 error contract: a malformed request answers with the typed
+	// envelope {"error":{"code","message",...}} and a stable code.
+	resp, err = http.Post(base+"/v2/forecast", "application/json",
+		bytes.NewReader([]byte(`{"days": 21, "bogus_field": true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("v2 bad request: status %d: %s", resp.StatusCode, rb)
+	}
+	var env struct {
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rb, &env); err != nil || env.Error == nil {
+		t.Fatalf("v2 error body is not the typed envelope: %s", rb)
+	}
+	if env.Error.Code != "bad_request" || env.Error.Message == "" {
+		t.Fatalf("v2 error envelope: %s", rb)
+	}
+
 	// Observability endpoints: /metrics validates as a Prometheus text
 	// exposition and reflects the forecast just served; /debug/spans and
 	// /debug/pprof/ answer off the same listener.
@@ -112,7 +186,10 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("/metrics exposition invalid: %v\n%s", err, expo)
 	}
 	for _, series := range []string{
-		`gmr_serve_requests_total{code="ok"} 1`,
+		`gmr_serve_requests_total{code="ok"} 2`,
+		`gmr_serve_requests_total{code="bad_request"} 1`,
+		"gmr_serve_ensemble_members",
+		"gmr_serve_band_seconds",
 		"gmr_obs_spans_recorded_total",
 	} {
 		if !bytes.Contains(expo, []byte(series)) {

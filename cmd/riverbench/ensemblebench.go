@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gmr/internal/bio"
+	"gmr/internal/core"
+	"gmr/internal/dataset"
+	"gmr/internal/expr"
+	"gmr/internal/gp"
+	"gmr/internal/obs"
+	"gmr/internal/serve"
+	"gmr/internal/serve/api"
+)
+
+// -exp ensemblebench: closed-loop benchmark of posterior-ensemble
+// forecasting (DESIGN.md §15). A model bundle carrying a retained
+// posterior is served in-process; clients request full-year uncertainty
+// forecasts at ensemble sizes 8/64/256, each under a distinct forcing
+// scenario so requests do not coalesce into shared cohorts. Members ride
+// the per-lane PARAM dimension of the SoA kernel, so the report's
+// mean_lane_fill column shows how full the 8-lane batches run — the run
+// fails if any row falls below ensembleMinFill, and if forecasts are not
+// bitwise identical across worker counts and the no-batch ablation.
+//
+// The ensemble_* fields merge into BENCH_SERVE.json next to the point-
+// forecast rows (servebench preserves them when it rewrites the file);
+// `make bench-diff` re-measures and checks the committed baseline.
+
+const (
+	ebDays      = 365  // forecast horizon, matching servebench
+	ebPosterior = 256  // retained posterior samples in the bench bundle
+	ebClients   = 4    // closed-loop clients per load level
+	ebMinFill   = 0.90 // acceptance floor on mean lane fill per row
+)
+
+// ebMembers are the benchmarked ensemble sizes (1, 8, and 32 lane
+// batches per request).
+var ebMembers = []int{8, 64, 256}
+
+type ensembleBenchRow struct {
+	Members      int     `json:"members"`
+	Requests     int64   `json:"requests"`
+	RPS          float64 `json:"rps"`
+	MemberRate   float64 `json:"members_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	LaneBatches  int64   `json:"lane_batches"`
+	MeanLaneFill float64 `json:"mean_lane_fill"`
+}
+
+// ebBundle writes the benchmark bundle: the baseline model plus a
+// deterministic jittered posterior (±2.5% of each parameter's Table III
+// box), so every member simulates the full horizon.
+func ebBundle(dir string) error {
+	ind, g, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		return err
+	}
+	digest := serve.ConfigDigest(bio.DefaultConstants(), dataset.ModelSimConfig(2, 0, 0))
+	bundle, err := gp.NewBundle(ind, g, "ensemblebench", digest)
+	if err != nil {
+		return err
+	}
+	consts := bio.DefaultConstants()
+	rng := rand.New(rand.NewSource(42))
+	samples := make([][]float64, ebPosterior)
+	for i := range samples {
+		v := append([]float64(nil), ind.Params...)
+		for j := range v {
+			v[j] += 0.05 * (consts[j].Max - consts[j].Min) * (rng.Float64() - 0.5)
+			if v[j] < consts[j].Min {
+				v[j] = consts[j].Min
+			}
+			if v[j] > consts[j].Max {
+				v[j] = consts[j].Max
+			}
+		}
+		samples[i] = v
+	}
+	bundle.Posterior = gp.NewBundlePosterior("DREAM", samples)
+	var buf bytes.Buffer
+	if err := bundle.Write(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "champion.json"), buf.Bytes(), 0o644)
+}
+
+// ebRequest is scenario i: a full-year ensemble forecast under a distinct
+// forcing override, so closed-loop clients measure throughput rather than
+// cohort coalescing.
+func ebRequest(members, i int) *serve.ForecastRequest {
+	return &serve.ForecastRequest{
+		Days:      ebDays,
+		Overrides: map[string]float64{"Vtmp": 1 + 0.001*float64(i%sbScenarios)},
+		Ensemble:  &api.EnsembleSpec{Members: members},
+	}
+}
+
+// ebServer stands up an in-process server over dir with its own obs
+// registry (so per-row lane counters are exact), returning both.
+func ebServer(ds *dataset.Dataset, dir string, mod func(*serve.Config)) (*serve.Server, *obs.Registry, error) {
+	reg := obs.NewRegistry()
+	cfg := serve.Config{
+		Dataset:   ds,
+		ModelsDir: dir,
+		CacheSize: -1,
+		Obs:       reg,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := serve.New(cfg)
+	return s, reg, err
+}
+
+// ebLoad runs the closed loop for one ensemble size and reads the lane
+// counters off the server's private registry.
+func ebLoad(ds *dataset.Dataset, dir string, members int, d time.Duration) (ensembleBenchRow, error) {
+	s, reg, err := ebServer(ds, dir, nil)
+	if err != nil {
+		return ensembleBenchRow{}, err
+	}
+	defer s.Close()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+		reqs     atomic.Int64
+	)
+	deadline := time.Now().Add(d)
+	for c := 0; c < ebClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 1024)
+			for i := c; time.Now().Before(deadline); i += ebClients {
+				t0 := time.Now()
+				resp, code, err := s.Forecast(context.Background(), ebRequest(members, i))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d: %s: %v", c, code, err)
+					}
+					mu.Unlock()
+					return
+				}
+				if resp.Quarantined || resp.Ensemble == nil || resp.Ensemble.Survivors != members {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d: bad ensemble response (quar=%v)", c, resp.Quarantined)
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+				reqs.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ensembleBenchRow{}, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(p*float64(len(lats)-1))]) / 1e6
+	}
+	snap := reg.Snapshot()
+	batches := snap["gmr_serve_lane_batches_total"]
+	lanes := snap["gmr_serve_lane_members_total"]
+	row := ensembleBenchRow{
+		Members:     members,
+		Requests:    reqs.Load(),
+		RPS:         float64(reqs.Load()) / d.Seconds(),
+		MemberRate:  float64(reqs.Load()*int64(members)) / d.Seconds(),
+		P50Ms:       pct(0.50),
+		P99Ms:       pct(0.99),
+		LaneBatches: int64(batches),
+	}
+	if batches > 0 {
+		row.MeanLaneFill = lanes / (batches * float64(expr.Lanes))
+	}
+	return row, nil
+}
+
+// ebIdentity runs one 64-member forecast on the default server, a
+// single-worker server, and the no-batch ablation, and demands bitwise
+// identical wire bodies (bands, spread, and mean included).
+func ebIdentity(ds *dataset.Dataset, dir string) (bool, error) {
+	mods := []func(*serve.Config){
+		nil,
+		func(c *serve.Config) { c.Workers = 1 },
+		func(c *serve.Config) { c.MaxBatch = 1 },
+	}
+	var ref []byte
+	for i, mod := range mods {
+		s, _, err := ebServer(ds, dir, mod)
+		if err != nil {
+			return false, err
+		}
+		resp, code, err := s.Forecast(context.Background(), ebRequest(64, 0))
+		s.Close()
+		if err != nil {
+			return false, fmt.Errorf("identity config %d: %s: %v", i, code, err)
+		}
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return false, err
+		}
+		if i == 0 {
+			ref = body
+		} else if !bytes.Equal(ref, body) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ebCheck enforces the acceptance invariants on a report's ensemble
+// fields; src names the file (or "this run") in errors.
+func ebCheck(rep *serveBenchReport, src string) error {
+	if len(rep.EnsembleRows) != len(ebMembers) {
+		return fmt.Errorf("%s: %d ensemble rows, want %d", src, len(rep.EnsembleRows), len(ebMembers))
+	}
+	for i, row := range rep.EnsembleRows {
+		if row.Members != ebMembers[i] {
+			return fmt.Errorf("%s: row %d covers %d members, want %d", src, i, row.Members, ebMembers[i])
+		}
+		if row.MeanLaneFill < ebMinFill {
+			return fmt.Errorf("%s: %d-member mean lane fill %.3f is below the %.2f floor",
+				src, row.Members, row.MeanLaneFill, ebMinFill)
+		}
+	}
+	if !rep.EnsembleIdentical {
+		return fmt.Errorf("%s: ensemble forecasts are not bitwise identical across worker counts", src)
+	}
+	return nil
+}
+
+// loadServeReport reads an existing BENCH_SERVE.json-shaped report.
+func loadServeReport(path string) (*serveBenchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep serveBenchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// runEnsembleBench measures the ensemble load matrix and the determinism
+// check, merges the ensemble_* fields into the report at out (preserving
+// any point-forecast rows already there, falling back to the baseline's),
+// and — when a baseline is given — verifies the committed baseline still
+// meets the same invariants.
+func runEnsembleBench(ds *dataset.Dataset, out, baseline string, perLevel time.Duration) error {
+	dir, err := os.MkdirTemp("", "ensemblebench-models-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := ebBundle(dir); err != nil {
+		return err
+	}
+
+	fmt.Printf("ensemblebench — %d-day ensemble forecasts, %d posterior samples, %d clients, %.1fs per level\n",
+		ebDays, ebPosterior, ebClients, perLevel.Seconds())
+	var rows []ensembleBenchRow
+	for _, members := range ebMembers {
+		row, err := ebLoad(ds, dir, members, perLevel)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+		fmt.Printf("  %4d members: %7.1f req/s  %9.0f members/s  p50 %7.2fms  p99 %7.2fms  lane fill %.3f (%d batches)\n",
+			members, row.RPS, row.MemberRate, row.P50Ms, row.P99Ms, row.MeanLaneFill, row.LaneBatches)
+	}
+	identical, err := ebIdentity(ds, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  64-member forecast bitwise identical across workers/nobatch: %v\n", identical)
+
+	// Merge into the existing report so the point-forecast rows survive.
+	rep := &serveBenchReport{Days: ebDays, MaxBatch: 8}
+	for _, src := range []string{out, baseline} {
+		if src == "" {
+			continue
+		}
+		if prev, err := loadServeReport(src); err == nil {
+			rep = prev
+			break
+		}
+	}
+	rep.EnsemblePosterior = ebPosterior
+	rep.EnsembleRows = rows
+	rep.EnsembleIdentical = identical
+	if err := ebCheck(rep, "this run"); err != nil {
+		return err
+	}
+	if baseline != "" && baseline != out {
+		base, err := loadServeReport(baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %v (run `make ensemblebench` to commit one)", err)
+		}
+		if err := ebCheck(base, baseline); err != nil {
+			return fmt.Errorf("committed baseline is stale: %v (run `make ensemblebench` to refresh)", err)
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", out)
+	return nil
+}

@@ -56,6 +56,12 @@ type serveBenchReport struct {
 	Rows         []serveBenchRow `json:"rows"`
 	Speedup64    float64         `json:"speedup_64clients"`
 	BitIdentical bool            `json:"bitwise_identical"`
+
+	// ensemble_* fields are written by -exp ensemblebench and preserved
+	// (not re-measured) when -exp servebench rewrites the report.
+	EnsemblePosterior int                `json:"ensemble_posterior_samples,omitempty"`
+	EnsembleRows      []ensembleBenchRow `json:"ensemble_rows,omitempty"`
+	EnsembleIdentical bool               `json:"ensemble_bitwise_identical,omitempty"`
 }
 
 // sbRequest is scenario i: a full-test-window forecast (start defaults to
@@ -282,6 +288,14 @@ func runServeBench(ds *dataset.Dataset, out string, perLevel time.Duration, noba
 		if !rep.BitIdentical {
 			return fmt.Errorf("servebench: batched and unbatched forecasts differ")
 		}
+	}
+
+	// Preserve the ensemble_* fields an earlier -exp ensemblebench run
+	// merged into the report; this experiment does not re-measure them.
+	if prev, err := loadServeReport(out); err == nil {
+		rep.EnsemblePosterior = prev.EnsemblePosterior
+		rep.EnsembleRows = prev.EnsembleRows
+		rep.EnsembleIdentical = prev.EnsembleIdentical
 	}
 
 	f, err := os.Create(out)

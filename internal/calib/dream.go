@@ -14,6 +14,11 @@ type DREAM struct {
 	Chains int
 	// CR is the per-dimension crossover probability; zero means 0.9.
 	CR float64
+	// Record, if non-nil, retains post-burn-in chain states (one offer per
+	// chain per sweep, in chain order). Recording consumes no randomness,
+	// so enabling it leaves the calibration trajectory bitwise identical
+	// (DESIGN.md §15).
+	Record *PosteriorRecorder
 }
 
 // NewDREAM returns the DREAM calibrator.
@@ -115,6 +120,7 @@ func (dr *DREAM) CalibrateBatch(obj BatchObjective, lo, hi []float64, budget int
 					best, bestF = cloneVec(xs[i]), f
 				}
 			}
+			dr.Record.Record(chains[i].x)
 		}
 	}
 	return best, bestF
@@ -130,6 +136,9 @@ type DEMCZ struct {
 	// ArchiveEvery thins archive updates; zero means every accepted
 	// state is archived.
 	ArchiveEvery int
+	// Record, if non-nil, retains post-burn-in chain states (one offer per
+	// chain update). Recording consumes no randomness; see DREAM.Record.
+	Record *PosteriorRecorder
 }
 
 // NewDEMCZ returns the DE-MCz calibrator.
@@ -193,6 +202,7 @@ func (dz *DEMCZ) Calibrate(obj Objective, lo, hi []float64, budget int, rng *ran
 					best, bestF = cloneVec(prop), f
 				}
 			}
+			dz.Record.Record(chains[i].x)
 		}
 	}
 	return best, bestF

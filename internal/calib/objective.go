@@ -47,6 +47,16 @@ func RiverBatchObjective(forcing [][]float64, obs []float64, sim bio.SimConfig) 
 	if err != nil {
 		return nil, err
 	}
+	return StructureBatchObjective(sys, forcing, obs, sim), nil
+}
+
+// StructureBatchObjective is RiverBatchObjective for an arbitrary compiled
+// structure: training RMSE of sys under the candidate parameter vector,
+// scored through the lane kernel. This is what posterior sampling around a
+// revised champion uses (gmr -export-model -posterior N): the structure is
+// the GP winner's, only its parameters vary. The returned closure reuses
+// internal buffers and is not safe for concurrent calls.
+func StructureBatchObjective(sys *bio.SegSystem, forcing [][]float64, obs []float64, sim bio.SimConfig) BatchObjective {
 	plan := sys.BuildExogPlan(forcing)
 	var sc bio.SimScratch
 	var preds [expr.Lanes][]float64
@@ -77,7 +87,7 @@ func RiverBatchObjective(forcing [][]float64, obs []float64, sim bio.SimConfig) 
 			}
 		}
 		return out
-	}, nil
+	}
 }
 
 // Box extracts the lower/upper calibration bounds from Table III constants.

@@ -1,0 +1,210 @@
+// Package ensemble simulates a posterior ensemble of parameter vectors
+// through one compiled model structure and reduces the member trajectories
+// to per-day uncertainty bands (DESIGN.md §15).
+//
+// The execution path is the 8-lane SoA kernel (DESIGN.md §11): ensemble
+// members are exactly the kernel's per-lane PARAM dimension, so M members
+// cost ⌈M/expr.Lanes⌉ kernel launches over one shared exogenous plan —
+// the same batching serve uses across concurrent requests, applied within
+// a single request. Member order is deterministic (input order), lane
+// arithmetic is elementwise, and compaction never perturbs surviving
+// lanes, so a fixed (structure, plan, members) triple reduces to bitwise
+// identical bands regardless of chunking or concurrency around it.
+//
+// Members whose state goes non-finite mid-window are quarantined with the
+// evalx reason vocabulary ("nan"/"inf") and excluded from the reduction:
+// a diverged trajectory says the parameter draw left the model's stable
+// region, not that the river will hold an infinite biomass.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gmr/internal/bio"
+	"gmr/internal/expr"
+)
+
+// MemberFault records one quarantined ensemble member: its index in the
+// input order, why it died ("nan" or "inf"), and the day it died.
+type MemberFault struct {
+	Member int    `json:"member"`
+	Reason string `json:"reason"`
+	Day    int    `json:"day"`
+}
+
+// RunResult holds the raw member trajectories of one ensemble run plus the
+// lane-occupancy accounting the serving benchmarks report.
+type RunResult struct {
+	// Preds[i] is member i's per-day biomass; quarantined members hold the
+	// finite prefix up to the day they died.
+	Preds [][]float64
+	// Faults lists quarantined members in member order.
+	Faults []MemberFault
+	// Batches counts lane-kernel launches; Members is the total member
+	// count across them (MeanLaneFill = Members / (Batches·expr.Lanes)).
+	Batches int
+	Members int
+}
+
+// MeanLaneFill is the fraction of lane slots that carried a real member
+// across the run's kernel launches — 1.0 when the member count is a
+// multiple of expr.Lanes.
+func (r *RunResult) MeanLaneFill() float64 {
+	if r.Batches == 0 {
+		return 0
+	}
+	return float64(r.Members) / float64(r.Batches*expr.Lanes)
+}
+
+// BatchFunc observes one kernel launch: the number of members in the
+// chunk and the launch's wall time. Used by serve to feed its kernel
+// latency histogram; nil disables.
+type BatchFunc func(members int, dur time.Duration)
+
+// Run simulates every member through sys over the plan's window, lane-
+// batched in chunks of expr.Lanes in input order. days must match the
+// plan's day count; sc is the reusable kernel scratch (pass a fresh one
+// for concurrent runs). The result is bitwise deterministic for fixed
+// (sys, plan, sim, members).
+func Run(sys *bio.SegSystem, plan *bio.ExogPlan, sim bio.SimConfig, members [][]float64, days int, sc *bio.SimScratch, onBatch BatchFunc) *RunResult {
+	res := &RunResult{
+		Preds:   make([][]float64, len(members)),
+		Members: len(members),
+	}
+	for i := range res.Preds {
+		res.Preds[i] = make([]float64, 0, days)
+	}
+	for base := 0; base < len(members); base += expr.Lanes {
+		end := base + expr.Lanes
+		if end > len(members) {
+			end = len(members)
+		}
+		chunk := members[base:end]
+		t0 := time.Now()
+		sys.PrologueLanes(chunk, sc)
+		off := base
+		sys.KernelLanes(plan, sim, sc, len(chunk), func(m, t int, bphy float64) bool {
+			m += off
+			if math.IsNaN(bphy) || math.IsInf(bphy, 0) {
+				reason := "inf"
+				if math.IsNaN(bphy) {
+					reason = "nan"
+				}
+				res.Faults = append(res.Faults, MemberFault{Member: m, Reason: reason, Day: t})
+				return false
+			}
+			res.Preds[m] = append(res.Preds[m], bphy)
+			return true
+		})
+		res.Batches++
+		if onBatch != nil {
+			onBatch(len(chunk), time.Since(t0))
+		}
+	}
+	// Lane compaction interleaves fault callbacks across members within a
+	// chunk; report them in member order so the result is order-canonical.
+	sort.Slice(res.Faults, func(i, j int) bool { return res.Faults[i].Member < res.Faults[j].Member })
+	return res
+}
+
+// Reduction is the per-day statistical summary of an ensemble's surviving
+// members.
+type Reduction struct {
+	// Quantiles echoes the requested probabilities, ascending.
+	Quantiles []float64
+	// Bands[i][t] is the Quantiles[i] quantile of surviving members' day-t
+	// biomass (linear interpolation between order statistics, R type 7).
+	Bands [][]float64
+	// Mean and Spread are the survivors' per-day mean and population
+	// standard deviation.
+	Mean   []float64
+	Spread []float64
+	// Survivors counts members included in the reduction.
+	Survivors int
+}
+
+// Reduce computes per-day quantile bands over the run's surviving members.
+// Quarantined members are excluded entirely — a band mixing finite days of
+// a member that later diverged would understate the divergence. Quantiles
+// must each lie in (0,1); they are sorted ascending in the result. Errors
+// when no member survived the full window.
+func Reduce(r *RunResult, days int, quantiles []float64) (*Reduction, error) {
+	qs := append([]float64(nil), quantiles...)
+	sort.Float64s(qs)
+	for _, q := range qs {
+		if !(q > 0 && q < 1) {
+			return nil, fmt.Errorf("ensemble: quantile %v outside (0,1)", q)
+		}
+	}
+	var alive [][]float64
+	for _, p := range r.Preds {
+		if len(p) == days {
+			alive = append(alive, p)
+		}
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("ensemble: no surviving members (of %d)", len(r.Preds))
+	}
+	red := &Reduction{
+		Quantiles: qs,
+		Bands:     make([][]float64, len(qs)),
+		Mean:      make([]float64, days),
+		Spread:    make([]float64, days),
+		Survivors: len(alive),
+	}
+	for i := range red.Bands {
+		red.Bands[i] = make([]float64, days)
+	}
+	col := make([]float64, len(alive))
+	for t := 0; t < days; t++ {
+		for i, p := range alive {
+			col[i] = p[t]
+		}
+		sort.Float64s(col)
+		for i, q := range qs {
+			red.Bands[i][t] = quantileSorted(col, q)
+		}
+		mean := 0.0
+		for _, v := range col {
+			mean += v
+		}
+		mean /= float64(len(col))
+		vr := 0.0
+		for _, v := range col {
+			d := v - mean
+			vr += d * d
+		}
+		red.Mean[t] = mean
+		red.Spread[t] = math.Sqrt(vr / float64(len(col)))
+	}
+	return red, nil
+}
+
+// Simulate is Run followed by Reduce: the one-call form for callers that
+// don't need per-batch timing or raw trajectories.
+func Simulate(sys *bio.SegSystem, plan *bio.ExogPlan, sim bio.SimConfig, members [][]float64, days int, quantiles []float64, sc *bio.SimScratch) (*Reduction, []MemberFault, error) {
+	run := Run(sys, plan, sim, members, days, sc, nil)
+	red, err := Reduce(run, days, quantiles)
+	if err != nil {
+		return nil, run.Faults, err
+	}
+	return red, run.Faults, nil
+}
+
+// quantileSorted interpolates the q quantile of an ascending slice using
+// h = q·(n-1) between adjacent order statistics (R type 7, numpy default).
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	h := q * float64(len(s)-1)
+	lo := int(h)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := h - float64(lo)
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}

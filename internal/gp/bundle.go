@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -47,6 +48,79 @@ type ModelBundle struct {
 	TestRMSE  float64 `json:"test_rmse,omitempty"`
 	// Model is the serialized individual.
 	Model *SavedIndividual `json:"model"`
+	// Posterior is the optional parameter-posterior block (gmr
+	// -export-model -posterior N): retained MCMC states around the model's
+	// structure, for ensemble uncertainty forecasting. Absent in bundles
+	// written before the block existed; readers treat nil as "point
+	// forecasts only".
+	Posterior *BundlePosterior `json:"posterior,omitempty"`
+}
+
+// PosteriorVersion is the BundlePosterior schema version; ReadBundle
+// rejects posterior blocks written by an incompatible build.
+const PosteriorVersion = 1
+
+// BundlePosterior is a bundle's parameter-posterior block: a bounded,
+// deterministically thinned sample of post-burn-in calibration states in
+// the same parameter layout as the model's own vector. Like the rest of
+// the bundle it is digest-guarded — Digest covers every sample bit — so a
+// hand-edited or truncated block is rejected at read time instead of
+// silently skewing uncertainty bands.
+type BundlePosterior struct {
+	Version int `json:"version"`
+	// Method names the sampler that produced the states ("DREAM", "DE-MCz").
+	Method string `json:"method,omitempty"`
+	// Samples are the retained parameter vectors, in retention order.
+	Samples [][]float64 `json:"samples"`
+	// Digest is the FNV-1a fingerprint of Samples (dimensions and bits).
+	Digest string `json:"digest"`
+}
+
+// NewBundlePosterior packages retained samples as a bundle block,
+// computing the digest. Samples are referenced, not copied.
+func NewBundlePosterior(method string, samples [][]float64) *BundlePosterior {
+	return &BundlePosterior{
+		Version: PosteriorVersion,
+		Method:  method,
+		Samples: samples,
+		Digest:  posteriorDigest(samples),
+	}
+}
+
+// Verify checks the block's schema version and digest. Called by
+// ReadBundle; exported so registries can re-verify after transport.
+func (p *BundlePosterior) Verify() error {
+	if p.Version != PosteriorVersion {
+		return fmt.Errorf("gp: posterior block version %d, this build supports %d", p.Version, PosteriorVersion)
+	}
+	if len(p.Samples) == 0 {
+		return fmt.Errorf("gp: posterior block has no samples")
+	}
+	if got := posteriorDigest(p.Samples); got != p.Digest {
+		return fmt.Errorf("gp: posterior digest %s does not match samples (%s)", p.Digest, got)
+	}
+	return nil
+}
+
+// posteriorDigest fingerprints a sample set: count, per-sample dimension,
+// and every value's bit pattern, FNV-1a mixed in order.
+func posteriorDigest(samples [][]float64) string {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(len(samples)))
+	for _, s := range samples {
+		mix(uint64(len(s)))
+		for _, v := range s {
+			mix(math.Float64bits(v))
+		}
+	}
+	return strconv.FormatUint(h, 16)
 }
 
 // NewBundle packages an individual for deployment against the grammar it
@@ -87,6 +161,11 @@ func ReadBundle(r io.Reader) (*ModelBundle, error) {
 	}
 	if b.Model == nil {
 		return nil, fmt.Errorf("gp: bundle has no model")
+	}
+	if b.Posterior != nil {
+		if err := b.Posterior.Verify(); err != nil {
+			return nil, err
+		}
 	}
 	return &b, nil
 }

@@ -91,6 +91,100 @@ func TestReadBundleRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestBundlePosteriorRoundTrip(t *testing.T) {
+	ind, g, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gp.NewBundle(ind, g, "with-posterior", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := [][]float64{
+		append([]float64(nil), ind.Params...),
+		append([]float64(nil), ind.Params...),
+	}
+	samples[1][0] *= 1.05
+	b.Posterior = gp.NewBundlePosterior("DREAM", samples)
+
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gp.ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Posterior == nil || got.Posterior.Method != "DREAM" {
+		t.Fatalf("posterior block lost: %+v", got.Posterior)
+	}
+	if len(got.Posterior.Samples) != 2 {
+		t.Fatalf("%d samples", len(got.Posterior.Samples))
+	}
+	for i := range samples {
+		for j := range samples[i] {
+			if math.Float64bits(got.Posterior.Samples[i][j]) != math.Float64bits(samples[i][j]) {
+				t.Fatalf("sample %d[%d] did not round-trip bitwise", i, j)
+			}
+		}
+	}
+	// A bundle without the block still reads (back compat) and reports nil.
+	b2, err := gp.NewBundle(ind, g, "plain", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := b2.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := gp.ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Posterior != nil {
+		t.Fatal("posterior materialized from nowhere")
+	}
+}
+
+func TestBundlePosteriorDigestGuard(t *testing.T) {
+	ind, g, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(mutate func(*gp.BundlePosterior)) *bytes.Buffer {
+		b, err := gp.NewBundle(ind, g, "", "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Posterior = gp.NewBundlePosterior("DREAM", [][]float64{{1, 2}, {3, 4}})
+		mutate(b.Posterior)
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	for name, tc := range map[string]struct {
+		mutate func(*gp.BundlePosterior)
+		want   string
+	}{
+		"tampered sample": {func(p *gp.BundlePosterior) { p.Samples[0][1] = 99 }, "digest"},
+		"truncated":       {func(p *gp.BundlePosterior) { p.Samples = p.Samples[:1] }, "digest"},
+		"foreign version": {func(p *gp.BundlePosterior) { p.Version = 99 }, "version"},
+		"emptied samples": {func(p *gp.BundlePosterior) { p.Samples = nil }, "no samples"},
+		"tampered digest": {func(p *gp.BundlePosterior) { p.Digest = "beef" }, "digest"},
+	} {
+		buf := write(tc.mutate)
+		if _, err := gp.ReadBundle(buf); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", name, err, tc.want)
+		}
+	}
+	// Untampered control.
+	if _, err := gp.ReadBundle(write(func(*gp.BundlePosterior) {})); err != nil {
+		t.Fatalf("pristine posterior rejected: %v", err)
+	}
+}
+
 func TestGrammarHashStableAndSensitive(t *testing.T) {
 	g1, err := grammar.River(grammar.DefaultExtensions())
 	if err != nil {

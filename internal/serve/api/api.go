@@ -1,0 +1,268 @@
+// Package api defines the forecast daemon's versioned wire contract: the
+// request/response DTOs of the /v2 surface, the uniform typed error
+// envelope, and the stable error-code vocabulary (DESIGN.md §15).
+//
+// The package is a leaf — pure data types plus decode/validate helpers,
+// no serving logic — so clients, the daemon, and the benchmark harness
+// all speak through one set of types. The /v1 endpoints serve the same
+// DTOs through thin adapters (an ensemble-free subset, byte-for-byte
+// compatible with the pre-v2 daemon); /v2 adds the ensemble block and
+// strict decoding (unknown fields are errors, bodies are size-capped).
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Stable error codes carried by every non-2xx response's envelope.
+// Clients dispatch on these, never on message text.
+const (
+	// CodeBadRequest: the request is malformed or semantically invalid
+	// (unparseable body, unknown field, bad window, bad quantile, ...).
+	CodeBadRequest = "bad_request"
+	// CodeModelNotFound: the named model is not in the catalog or is not
+	// servable.
+	CodeModelNotFound = "model_not_found"
+	// CodeDeadlineExceeded: the forecast did not complete within the
+	// server's request timeout (queueing included).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeOverloaded: the admission queue shed the request (429) or the
+	// server is draining for shutdown (503). Retry against another
+	// replica or after backoff.
+	CodeOverloaded = "overloaded"
+	// CodeInternal: an execution failure that is the server's fault.
+	CodeInternal = "internal"
+)
+
+// Error is the typed error payload.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a stable, human-oriented one-liner.
+	Message string `json:"message"`
+	// Details elaborates for operators; contents are not contractual.
+	Details string `json:"details,omitempty"`
+}
+
+// ErrorEnvelope is the body of every non-2xx /v2 response:
+// {"error":{"code":...,"message":...,"details":...}}.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// NewError builds an envelope.
+func NewError(code, message, details string) *ErrorEnvelope {
+	return &ErrorEnvelope{Error: &Error{Code: code, Message: message, Details: details}}
+}
+
+// MaxEnsembleMembers caps a request's ensemble size: 128 lane batches,
+// far past the point where bands stop moving.
+const MaxEnsembleMembers = 1024
+
+// MaxQuantiles caps the per-request band count.
+const MaxQuantiles = 16
+
+// DefaultQuantiles is the band set served when a request's ensemble spec
+// omits quantiles: the paper-standard 5/25/50/75/95 percentile fan.
+func DefaultQuantiles() []float64 { return []float64{0.05, 0.25, 0.5, 0.75, 0.95} }
+
+// EnsembleSpec asks for an uncertainty forecast: simulate Members
+// posterior parameter draws of the model and reduce them to per-day
+// quantile bands.
+type EnsembleSpec struct {
+	// Members is the ensemble size (clamped to the model's retained
+	// posterior sample count; ≤ MaxEnsembleMembers).
+	Members int `json:"members"`
+	// Quantiles are the band probabilities, each in (0,1); empty means
+	// DefaultQuantiles.
+	Quantiles []float64 `json:"quantiles,omitempty"`
+}
+
+// ForecastRequest is a forecast job: simulate a model over a window of
+// the serving dataset under optional scenario overrides, as a point
+// forecast or (with Ensemble) a posterior-ensemble band forecast.
+//
+// Two kinds of overrides, matching the two batching dimensions of the
+// SoA kernel (DESIGN.md §11): forcing overrides scale exogenous columns
+// and therefore select the hoisted exogenous plan (requests sharing them
+// can share a lane cohort), while parameter overrides replace constant
+// values and ride in per-lane PARAM registers. Ensemble requests occupy
+// the lane dimension with posterior members instead, so they reject
+// parameter overrides.
+type ForecastRequest struct {
+	// Model is the registry ID; empty selects the champion.
+	Model string `json:"model,omitempty"`
+	// Station names the forcing series; only "S1" (the routed study
+	// station) is servable. Empty means S1.
+	Station string `json:"station,omitempty"`
+	// Date is the ISO start date (alternative to Start).
+	Date string `json:"date,omitempty"`
+	// Start is the start day index into the dataset.
+	Start *int `json:"start,omitempty"`
+	// Days is the forecast horizon.
+	Days int `json:"days"`
+	// Overrides scales forcing variables: name → multiplicative factor
+	// (e.g. {"Vtmp": 1.1} = +10% water temperature scenario).
+	Overrides map[string]float64 `json:"overrides,omitempty"`
+	// Params overrides constant parameters by name (e.g. {"CDZ": 0.06}).
+	Params map[string]float64 `json:"params,omitempty"`
+	// Ensemble, when non-nil, requests an uncertainty forecast. Ignored
+	// by the /v1 adapter (v1 predates the block).
+	Ensemble *EnsembleSpec `json:"ensemble,omitempty"`
+}
+
+// DecodeForecastRequest strictly decodes a request: unknown fields and
+// trailing garbage are errors. This is the /v2 decoding discipline; the
+// /v1 adapter keeps its historical lenient decode.
+func DecodeForecastRequest(r io.Reader) (*ForecastRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req ForecastRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	// A second Decode distinguishes EOF (clean) from trailing content.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after request object")
+	}
+	return &req, nil
+}
+
+// Validate performs the static (dataset-independent) checks: horizon
+// positivity, finite override values, and ensemble-spec sanity. Window
+// bounds and name resolution need the serving dataset and happen
+// server-side with the same error code.
+func (r *ForecastRequest) Validate() error {
+	if r.Days <= 0 {
+		return fmt.Errorf("days must be positive")
+	}
+	if r.Start != nil && r.Date != "" {
+		return fmt.Errorf("set either start or date, not both")
+	}
+	for name, v := range r.Overrides {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("override %q is non-finite", name)
+		}
+	}
+	for name, v := range r.Params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("parameter %q is non-finite", name)
+		}
+	}
+	if e := r.Ensemble; e != nil {
+		if e.Members < 1 {
+			return fmt.Errorf("ensemble members must be positive")
+		}
+		if e.Members > MaxEnsembleMembers {
+			return fmt.Errorf("ensemble members %d exceeds the cap %d", e.Members, MaxEnsembleMembers)
+		}
+		if len(e.Quantiles) > MaxQuantiles {
+			return fmt.Errorf("%d quantiles exceeds the cap %d", len(e.Quantiles), MaxQuantiles)
+		}
+		for _, q := range e.Quantiles {
+			if !(q > 0 && q < 1) { // also catches NaN
+				return fmt.Errorf("quantile %v outside (0,1)", q)
+			}
+		}
+		if len(r.Params) > 0 {
+			return fmt.Errorf("ensemble forecasts do not accept parameter overrides (the lane dimension carries posterior members)")
+		}
+	}
+	return nil
+}
+
+// MemberFault is one quarantined ensemble member: which member (by
+// deterministic posterior order), why it diverged ("nan"/"inf"), and the
+// day it died.
+type MemberFault struct {
+	Member int    `json:"member"`
+	Reason string `json:"reason"`
+	Day    int    `json:"day"`
+}
+
+// EnsembleResult is the uncertainty block of an ensemble forecast.
+type EnsembleResult struct {
+	// Members is the simulated ensemble size (the request's Members,
+	// clamped to the model's retained posterior).
+	Members int `json:"members"`
+	// Survivors counts members that completed the window; only they
+	// contribute to Bands/Spread (and the response's mean Predictions).
+	Survivors int `json:"survivors"`
+	// PosteriorDigest fingerprints the model's posterior block, so a
+	// band is traceable to the exact sample set that produced it.
+	PosteriorDigest string `json:"posterior_digest,omitempty"`
+	// Bands maps band names (BandName of each requested quantile, e.g.
+	// "q05"..."q95") to per-day series.
+	Bands map[string][]float64 `json:"bands,omitempty"`
+	// Spread is the survivors' per-day population standard deviation.
+	Spread []float64 `json:"spread,omitempty"`
+	// Faults lists quarantined members in member order.
+	Faults []MemberFault `json:"faults,omitempty"`
+}
+
+// BandName names a quantile band: q05, q25, q50, q75, q95, ...; a
+// non-integer percent keeps one decimal (q97.5).
+func BandName(q float64) string {
+	p := q * 100
+	if p == math.Trunc(p) {
+		return fmt.Sprintf("q%02.0f", p)
+	}
+	return fmt.Sprintf("q%.1f", p)
+}
+
+// ForecastResponse is the forecast wire result. For a point forecast,
+// Predictions is the simulated phytoplankton biomass per day and
+// Ensemble is absent; for an ensemble forecast, Predictions is the
+// surviving members' per-day mean and Ensemble carries the bands. When
+// the simulation (or every ensemble member) aborted on a non-finite
+// state, the response is flagged quarantined with the evalx reason
+// vocabulary ("nan"/"inf") and the day it died, and Predictions holds
+// the finite prefix (empty for ensembles). Fields are a pure function of
+// the request and the model version, so responses are cacheable and
+// bitwise comparable.
+type ForecastResponse struct {
+	Model       string          `json:"model"`
+	Version     string          `json:"version"`
+	Station     string          `json:"station"`
+	Start       int             `json:"start"`
+	StartDate   string          `json:"start_date"`
+	Days        int             `json:"days"`
+	Predictions []float64       `json:"predictions"`
+	Quarantined bool            `json:"quarantined,omitempty"`
+	Reason      string          `json:"reason,omitempty"`
+	Died        int             `json:"died,omitempty"`
+	Ensemble    *EnsembleResult `json:"ensemble,omitempty"`
+}
+
+// ModelInfo is the /v2/models wire form of a registry entry.
+type ModelInfo struct {
+	ID          string  `json:"id"`
+	File        string  `json:"file"`
+	Version     string  `json:"version"`
+	Source      string  `json:"source,omitempty"`
+	Status      string  `json:"status"`
+	Reason      string  `json:"reason,omitempty"`
+	Detail      string  `json:"detail,omitempty"`
+	Name        string  `json:"name,omitempty"`
+	SavedAt     string  `json:"saved_at,omitempty"`
+	TrainRMSE   float64 `json:"train_rmse,omitempty"`
+	TestRMSE    float64 `json:"test_rmse,omitempty"`
+	ServingRMSE float64 `json:"serving_rmse,omitempty"`
+	PhyExpr     string  `json:"phy_expr,omitempty"`
+	ZooExpr     string  `json:"zoo_expr,omitempty"`
+	Champion    bool    `json:"champion,omitempty"`
+	// PosteriorSamples is the model's retained posterior size (0 = point
+	// forecasts only).
+	PosteriorSamples int `json:"posterior_samples,omitempty"`
+}
+
+// ModelsResponse is the /v2/models catalog listing.
+type ModelsResponse struct {
+	CatalogVersion int         `json:"catalog_version"`
+	LoadedAt       string      `json:"loaded_at"`
+	Champion       string      `json:"champion,omitempty"`
+	Models         []ModelInfo `json:"models"`
+}

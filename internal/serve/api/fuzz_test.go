@@ -1,0 +1,79 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzForecastRequestDecode hammers the strict request decoder: whatever
+// the bytes, it must never panic, and any request it accepts (decode +
+// validate) must survive a marshal/decode round trip — i.e. accepted
+// requests are always re-encodable and self-consistent.
+func FuzzForecastRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"days": 14}`))
+	f.Add([]byte(`{"days": 30, "model": "champion", "station": "gongju", "start": 12}`))
+	f.Add([]byte(`{"days": 7, "start_date": "2001-03-04", "overrides": {"Vtmp": 1.5}}`))
+	f.Add([]byte(`{"days": 10, "params": [1, 2, 3]}`))
+	f.Add([]byte(`{"days": 10, "ensemble": {"members": 64}}`))
+	f.Add([]byte(`{"days": 10, "ensemble": {"members": 8, "quantiles": [0.1, 0.5, 0.9]}}`))
+	f.Add([]byte(`{"days": 1, "ensemble": {"members": 0}}`))
+	f.Add([]byte(`{"days": 1, "ensemble": {"quantiles": [0, 1]}}`))
+	f.Add([]byte(`{"days": 1e99}`))
+	f.Add([]byte(`{"days": 3, "unknown_field": true}`))
+	f.Add([]byte(`{"days": 3} trailing`))
+	f.Add([]byte(`{"overrides": {"Vtmp": null}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(strings.Repeat(`{"days":`, 100)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeForecastRequest(bytes.NewReader(data))
+		if err != nil {
+			if req != nil {
+				t.Fatalf("decoder returned both a request and an error: %v", err)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("decoder returned neither request nor error")
+		}
+		if req.Validate() != nil {
+			return
+		}
+		// Accepted request: must round-trip through the wire form.
+		blob, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not marshal: %v", err)
+		}
+		again, err := DecodeForecastRequest(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("re-decode of accepted request failed: %v\n%s", err, blob)
+		}
+		if err := again.Validate(); err != nil {
+			t.Fatalf("accepted request invalid after round trip: %v\n%s", err, blob)
+		}
+		// Validate's guarantees hold on the decoded form.
+		if again.Days <= 0 {
+			t.Fatalf("validated request has days=%d", again.Days)
+		}
+		for k, v := range again.Overrides {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("validated request has non-finite override %s=%v", k, v)
+			}
+		}
+		if e := again.Ensemble; e != nil {
+			if e.Members < 1 || e.Members > MaxEnsembleMembers {
+				t.Fatalf("validated ensemble members=%d", e.Members)
+			}
+			for _, q := range e.Quantiles {
+				if !(q > 0 && q < 1) {
+					t.Fatalf("validated ensemble quantile %v", q)
+				}
+			}
+		}
+	})
+}

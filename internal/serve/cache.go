@@ -21,10 +21,12 @@ type respCache struct {
 }
 
 // respKey extends the cohort key with the parameter-override digest — the
-// one request dimension cohorts deliberately ignore (it is per-lane).
+// one request dimension cohorts deliberately ignore (it is per-lane) —
+// and the wire version the cached bytes were serialized for.
 type respKey struct {
 	cohortKey
 	paramDigest uint64
+	wire        string
 }
 
 type respEntry struct {

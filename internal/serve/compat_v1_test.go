@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The /v1 compatibility pin: the v1 endpoints are adapters over the
+// shared api DTOs, but their wire bytes must stay exactly what the
+// pre-v2 daemon produced. These tests re-marshal responses through
+// structs frozen to the historical v1 field set (names, order, omitempty)
+// and demand byte equality — a new field, a reordering, or a changed tag
+// on the shared DTOs fails here before any client notices.
+
+// v1WireResponse is the frozen pre-v2 ForecastResponse layout.
+type v1WireResponse struct {
+	Model       string    `json:"model"`
+	Version     string    `json:"version"`
+	Station     string    `json:"station"`
+	Start       int       `json:"start"`
+	StartDate   string    `json:"start_date"`
+	Days        int       `json:"days"`
+	Predictions []float64 `json:"predictions"`
+	Quarantined bool      `json:"quarantined,omitempty"`
+	Reason      string    `json:"reason,omitempty"`
+	Died        int       `json:"died,omitempty"`
+}
+
+// v1WireError is the frozen pre-v2 error body layout.
+type v1WireError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func postV1(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/forecast", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/forecast: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// repinV1 strictly decodes body into the frozen layout and re-marshals
+// it; the result must reproduce body byte for byte.
+func repinV1(t *testing.T, body []byte, v any) {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Fatalf("v1 body does not fit the frozen layout: %v\n%s", err, body)
+	}
+	repinned, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repinned = append(repinned, '\n')
+	if !bytes.Equal(repinned, body) {
+		t.Fatalf("v1 bytes drifted:\n got %s\nwant %s", body, repinned)
+	}
+}
+
+// TestV1ResponseBytesPinned: success and error bodies round-trip through
+// the frozen v1 layout byte for byte.
+func TestV1ResponseBytesPinned(t *testing.T) {
+	_, ts := newV2Server(t, 4, nil) // posterior present; must not leak into v1
+
+	resp, body := postV1(t, ts, `{"days": 14, "overrides": {"Vtmp": 1.05}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ok v1WireResponse
+	repinV1(t, body, &ok)
+	if ok.Days != 14 || len(ok.Predictions) != 14 {
+		t.Fatalf("response %+v", ok)
+	}
+
+	resp, body = postV1(t, ts, `{"days": 7, "model": "nope"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("error status %d", resp.StatusCode)
+	}
+	var ebody v1WireError
+	repinV1(t, body, &ebody)
+	if ebody.Code != "unknown_model" || ebody.Error == "" {
+		t.Fatalf("error body %+v", ebody)
+	}
+
+	// Historical quirk, pinned: v1 answers a wrong method with 400
+	// "bad_request", not 405.
+	get, err := http.Get(ts.URL + "/v1/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /v1/forecast: %d, want 400", get.StatusCode)
+	}
+}
+
+// TestV1IgnoresEnsemble: v1 predates the ensemble block; its lenient
+// decode must keep ignoring it — same bytes as the ensemble-free request.
+func TestV1IgnoresEnsemble(t *testing.T) {
+	_, ts := newV2Server(t, 8, nil)
+	_, plain := postV1(t, ts, `{"days": 10}`)
+	_, withEns := postV1(t, ts, `{"days": 10, "ensemble": {"members": 8}}`)
+	if !bytes.Equal(plain, withEns) {
+		t.Fatalf("v1 reacted to the ensemble block:\n%s\nvs\n%s", plain, withEns)
+	}
+	if bytes.Contains(withEns, []byte(`"ensemble"`)) {
+		t.Fatalf("v1 response leaked the ensemble block: %s", withEns)
+	}
+	// Unknown keys stay ignored too (lenient decode, pinned).
+	resp, unknown := postV1(t, ts, `{"days": 10, "never_a_field": 1}`)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(plain, unknown) {
+		t.Fatalf("v1 lenient decode drifted: %d %s", resp.StatusCode, unknown)
+	}
+}
+
+// TestV1ModelsBytesPinned: the catalog listing keeps the frozen field
+// set — the posterior sample count is v2-only.
+func TestV1ModelsBytesPinned(t *testing.T) {
+	_, ts := newV2Server(t, 4, nil)
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("posterior")) {
+		t.Fatalf("/v1/models leaked posterior fields: %s", buf.Bytes())
+	}
+	type v1Model struct {
+		ID          string  `json:"id"`
+		File        string  `json:"file"`
+		Version     string  `json:"version"`
+		Source      string  `json:"source,omitempty"`
+		Status      string  `json:"status"`
+		Reason      string  `json:"reason,omitempty"`
+		Detail      string  `json:"detail,omitempty"`
+		Name        string  `json:"name,omitempty"`
+		SavedAt     string  `json:"saved_at,omitempty"`
+		TrainRMSE   float64 `json:"train_rmse,omitempty"`
+		TestRMSE    float64 `json:"test_rmse,omitempty"`
+		ServingRMSE float64 `json:"serving_rmse,omitempty"`
+		PhyExpr     string  `json:"phy_expr,omitempty"`
+		ZooExpr     string  `json:"zoo_expr,omitempty"`
+		Champion    bool    `json:"champion,omitempty"`
+	}
+	type v1Models struct {
+		CatalogVersion int       `json:"catalog_version"`
+		LoadedAt       string    `json:"loaded_at"`
+		Champion       string    `json:"champion,omitempty"`
+		Models         []v1Model `json:"models"`
+	}
+	var mb v1Models
+	repinV1(t, buf.Bytes(), &mb)
+	if len(mb.Models) != 1 || mb.Models[0].Status != "ready" {
+		t.Fatalf("models %+v", mb)
+	}
+}

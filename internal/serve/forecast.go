@@ -4,81 +4,62 @@ import (
 	"container/list"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"gmr/internal/bio"
 	"gmr/internal/dataset"
+	"gmr/internal/ensemble"
 	"gmr/internal/expr"
+	"gmr/internal/serve/api"
 )
 
-// ForecastRequest is a validated forecast job: simulate a model over a
-// window of the serving dataset under optional scenario overrides.
-//
-// Two kinds of overrides, matching the two batching dimensions of the SoA
-// kernel (DESIGN.md §11): forcing overrides scale exogenous columns and
-// therefore select the hoisted exogenous plan (requests sharing them can
-// share a lane cohort), while parameter overrides replace constant values
-// and ride in per-lane PARAM registers (requests differing only here pack
-// into one cohort, one kernel dispatch scoring up to expr.Lanes of them).
-type ForecastRequest struct {
-	// Model is the registry ID; empty selects the champion.
-	Model string `json:"model,omitempty"`
-	// Station names the forcing series; only "S1" (the routed study
-	// station) is servable. Empty means S1.
-	Station string `json:"station,omitempty"`
-	// Date is the ISO start date (alternative to Start).
-	Date string `json:"date,omitempty"`
-	// Start is the start day index into the dataset.
-	Start *int `json:"start,omitempty"`
-	// Days is the forecast horizon.
-	Days int `json:"days"`
-	// Overrides scales forcing variables: name → multiplicative factor
-	// (e.g. {"Vtmp": 1.1} = +10% water temperature scenario).
-	Overrides map[string]float64 `json:"overrides,omitempty"`
-	// Params overrides constant parameters by name (e.g. {"CDZ": 0.06}).
-	Params map[string]float64 `json:"params,omitempty"`
-}
+// ForecastRequest and ForecastResponse are the wire DTOs, defined once in
+// the versioned api package (DESIGN.md §15) and aliased here so the
+// executor, both HTTP surfaces, and the benchmark harness share one set
+// of types. The /v1 adapter serves the ensemble-free subset byte-for-byte
+// as before the api package existed.
+type ForecastRequest = api.ForecastRequest
 
-// ForecastResponse is the wire result. Predictions are the simulated
-// phytoplankton biomass per day; when the simulation aborted on a
-// non-finite state the response is flagged quarantined with the evalx
-// reason vocabulary ("nan"/"inf") and the day it died, and Predictions
-// holds the finite prefix. Fields are a pure function of the request and
-// the model version, so responses are cacheable and bitwise comparable.
-type ForecastResponse struct {
-	Model       string    `json:"model"`
-	Version     string    `json:"version"`
-	Station     string    `json:"station"`
-	Start       int       `json:"start"`
-	StartDate   string    `json:"start_date"`
-	Days        int       `json:"days"`
-	Predictions []float64 `json:"predictions"`
-	Quarantined bool      `json:"quarantined,omitempty"`
-	Reason      string    `json:"reason,omitempty"`
-	Died        int       `json:"died,omitempty"`
-}
+// ForecastResponse is the wire result; see api.ForecastResponse.
+type ForecastResponse = api.ForecastResponse
 
 // cohortKey identifies requests that may share one lane cohort: same
 // compiled model (version included), same forcing window, same forcing
-// overrides. Everything else — the parameter vector — is per-lane.
+// overrides, same ensemble configuration (ensDigest is 0 for point
+// forecasts; for ensemble requests it covers the member count and
+// quantile set, so identical band requests coalesce into one cohort and
+// are computed once). Everything else — the parameter vector — is
+// per-lane.
 type cohortKey struct {
-	version  string
-	station  string
-	start    int
-	days     int
-	ovDigest uint64
+	version   string
+	station   string
+	start     int
+	days      int
+	ovDigest  uint64
+	ensDigest uint64
 }
 
 // execSpec is a resolved, executable forecast: the pinned model entry (so
 // a hot reload mid-flight cannot swap the structure under us), the cohort
-// key, the integration config, and the final parameter vector.
+// key, the integration config, and the final parameter vector (or, for
+// ensemble requests, the selected posterior members).
 type execSpec struct {
 	model     *Model
 	key       cohortKey
 	sim       bio.SimConfig
 	params    []float64
 	overrides map[string]float64
+	ens       *ensSpec
+}
+
+// ensSpec is the resolved ensemble dimension of a spec: the posterior
+// members to simulate (selected deterministically from the model's
+// retained samples) and the sorted quantile set to reduce to.
+type ensSpec struct {
+	members   [][]float64
+	quantiles []float64
 }
 
 // resolve validates a request against the dataset and the current catalog
@@ -148,7 +129,7 @@ func (s *Server) resolve(req *ForecastRequest) (*execSpec, string, error) {
 			params[s.paramIdx[name]] = v
 		}
 	}
-	return &execSpec{
+	spec := &execSpec{
 		model: model,
 		key: cohortKey{
 			version:  model.Version,
@@ -160,7 +141,76 @@ func (s *Server) resolve(req *ForecastRequest) (*execSpec, string, error) {
 		sim:       dataset.ModelSimConfig(s.subSteps, s.ds.ObsPhy[start], s.ds.ObsZoo[start]),
 		params:    params,
 		overrides: req.Overrides,
-	}, "", nil
+	}
+	if req.Ensemble != nil {
+		if len(req.Params) > 0 {
+			return nil, "bad_request", fmt.Errorf("ensemble forecasts do not accept parameter overrides (the lane dimension carries posterior members)")
+		}
+		ens, code, err := resolveEnsemble(model, req.Ensemble)
+		if err != nil {
+			return nil, code, err
+		}
+		spec.ens = ens
+		spec.key.ensDigest = ensDigest(ens)
+	}
+	return spec, "", nil
+}
+
+// resolveEnsemble validates an ensemble spec against the pinned model and
+// selects its members: an even stride over the model's retained posterior
+// (sample i·P/M for i in [0,M)), so any two requests for M members of the
+// same model get the identical, order-stable member set — the ensemble
+// analogue of the response cache's purity contract.
+func resolveEnsemble(model *Model, e *api.EnsembleSpec) (*ensSpec, string, error) {
+	if e.Members < 1 {
+		return nil, "bad_request", fmt.Errorf("ensemble members must be positive")
+	}
+	if e.Members > api.MaxEnsembleMembers {
+		return nil, "bad_request", fmt.Errorf("ensemble members %d exceeds the cap %d", e.Members, api.MaxEnsembleMembers)
+	}
+	if len(model.posterior) == 0 {
+		return nil, "bad_request", fmt.Errorf("model %s carries no posterior block (re-export with gmr -export-model -posterior N)", model.ID)
+	}
+	qs := e.Quantiles
+	if len(qs) == 0 {
+		qs = api.DefaultQuantiles()
+	}
+	if len(qs) > api.MaxQuantiles {
+		return nil, "bad_request", fmt.Errorf("%d quantiles exceeds the cap %d", len(qs), api.MaxQuantiles)
+	}
+	qs = append([]float64(nil), qs...)
+	sort.Float64s(qs)
+	for i, q := range qs {
+		if !(q > 0 && q < 1) {
+			return nil, "bad_request", fmt.Errorf("quantile %v outside (0,1)", q)
+		}
+		if i > 0 && qs[i-1] == q {
+			return nil, "bad_request", fmt.Errorf("duplicate quantile %v", q)
+		}
+	}
+	m := e.Members
+	if m > len(model.posterior) {
+		m = len(model.posterior)
+	}
+	members := make([][]float64, m)
+	for i := range members {
+		members[i] = model.posterior[i*len(model.posterior)/m]
+	}
+	return &ensSpec{members: members, quantiles: qs}, "", nil
+}
+
+// ensDigest fingerprints a resolved ensemble configuration for cohort and
+// response-cache keys. Never 0 (the point-forecast sentinel): the member
+// count and quantile set are mixed over a tagged non-empty stream.
+func ensDigest(ens *ensSpec) uint64 {
+	h := newFNV().str("ens").int(len(ens.members)).int(len(ens.quantiles))
+	for _, q := range ens.quantiles {
+		h = h.f64(q)
+	}
+	if h == 0 {
+		h = 1
+	}
+	return uint64(h)
 }
 
 // execResult is one member's outcome, delivered on its response channel.
@@ -169,7 +219,17 @@ type execResult struct {
 	quarantined bool
 	reason      string
 	died        int
-	err         error // executor panic; member gets a 500
+	ens         *ensOutcome // ensemble forecasts only
+	err         error       // executor panic; member gets a 500
+}
+
+// ensOutcome is an ensemble cohort's shared result: the raw run (for
+// fault reporting) and the reduction (nil when every member diverged).
+// Requests in one ensemble cohort are identical by key construction, so
+// all of them receive the same immutable outcome.
+type ensOutcome struct {
+	run *ensemble.RunResult
+	red *ensemble.Reduction
 }
 
 // planCache memoizes hoisted exogenous plans per (model version, window,
@@ -260,6 +320,10 @@ func (s *Server) planFor(spec *execSpec) *bio.ExogPlan {
 // what makes the batch window invisible to clients beyond latency.
 func (s *Server) execCohort(members []*pendingReq) {
 	spec := members[0].spec
+	if spec.ens != nil {
+		s.execEnsembleCohort(members)
+		return
+	}
 	n := len(members)
 	plan := s.planFor(spec)
 
@@ -318,5 +382,46 @@ func (s *Server) execCohort(members []*pendingReq) {
 			reason:      quars[i].reason,
 			died:        quars[i].died,
 		})
+	}
+}
+
+// execEnsembleCohort runs one ensemble cohort: the lane dimension carries
+// posterior members instead of co-batched requests, ⌈M/laneWidth⌉ kernel
+// launches over the cohort's shared plan, then one quantile reduction.
+// Every request in the cohort is identical by key construction, so the
+// ensemble is simulated once and the shared outcome answers all of them.
+// When every member diverges, the outcome is a quarantined response
+// carrying the first (lowest-member) fault's reason and day.
+func (s *Server) execEnsembleCohort(members []*pendingReq) {
+	spec := members[0].spec
+	plan := s.planFor(spec)
+
+	sc := s.scratch.Get().(*bio.SimScratch)
+	dropsBefore := sc.LaneDrops
+	run := ensemble.Run(spec.model.seg, plan, spec.sim, spec.ens.members, spec.key.days, sc,
+		func(n int, d time.Duration) {
+			s.m.kernel.Observe(d.Seconds())
+			s.tracer.Observe("serve.kernel", time.Now().Add(-d), d)
+			s.m.laneBatches.Inc()
+			s.m.laneMembers.Add(int64(n))
+		})
+	s.m.laneCompactions.Add(int64(sc.LaneDrops - dropsBefore))
+	s.scratch.Put(sc)
+	s.m.ensembleSize.Observe(float64(len(spec.ens.members)))
+	s.m.memberQuarantines.Add(int64(len(run.Faults)))
+
+	t0 := time.Now()
+	red, err := ensemble.Reduce(run, spec.key.days, spec.ens.quantiles)
+	d := time.Since(t0)
+	s.m.band.Observe(d.Seconds())
+	s.tracer.Observe("serve.band", t0, d)
+
+	res := execResult{ens: &ensOutcome{run: run, red: red}}
+	if err != nil {
+		f := run.Faults[0]
+		res.quarantined, res.reason, res.died = true, f.Reason, f.Day
+	}
+	for _, m := range members {
+		m.respond(res)
 	}
 }

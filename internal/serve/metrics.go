@@ -34,10 +34,14 @@ type metricsSet struct {
 	deadlineDrops   *obs.Counter
 	panics          *obs.Counter
 
-	latency   *obs.Histogram // end-to-end /v1/forecast latency
+	latency   *obs.Histogram // end-to-end forecast latency (v1 and v2)
 	queueWait *obs.Histogram // admission → dispatch, per executed member
 	batchWait *obs.Histogram // cohort first arrival → dispatch
 	kernel    *obs.Histogram // lane-kernel execution per launch
+
+	ensembleSize      *obs.Histogram // members per ensemble forecast
+	memberQuarantines *obs.Counter   // ensemble members quarantined mid-window
+	band              *obs.Histogram // quantile-band reduction per ensemble
 }
 
 func newMetricsSet(r *obs.Registry) *metricsSet {
@@ -65,6 +69,13 @@ func newMetricsSet(r *obs.Registry) *metricsSet {
 			"Cohort batch window: first arrival to dispatch.", nil, nil),
 		kernel: r.Histogram("gmr_serve_kernel_seconds",
 			"Lane-kernel execution time per launch.", nil, nil),
+		ensembleSize: r.Histogram("gmr_serve_ensemble_members",
+			"Ensemble size per ensemble forecast.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, nil),
+		memberQuarantines: r.Counter("gmr_serve_ensemble_member_quarantines_total",
+			"Ensemble members quarantined on a non-finite state mid-window.", nil),
+		band: r.Histogram("gmr_serve_band_seconds",
+			"Quantile-band reduction time per ensemble forecast.", nil, nil),
 	}
 }
 

@@ -77,10 +77,20 @@ type Model struct {
 	ind    *gp.Individual
 	seg    *bio.SegSystem
 	params []float64
+	// posterior is the bundle's retained parameter-posterior sample set
+	// (digest-verified at decode, dimension-checked at load); empty means
+	// the model serves point forecasts only. posteriorDigest is the
+	// bundle block's fingerprint, echoed in ensemble responses.
+	posterior       [][]float64
+	posteriorDigest string
 }
 
 // Ready reports whether the model can serve forecasts.
 func (m *Model) Ready() bool { return m.Status == StatusReady }
+
+// PosteriorSize is the model's retained posterior sample count (0 = point
+// forecasts only).
+func (m *Model) PosteriorSize() int { return len(m.posterior) }
 
 // catalog is one immutable generation of the registry: the loaded models
 // and the champion pick. Hot reload builds a fresh catalog and swaps the
@@ -288,6 +298,25 @@ func (r *Registry) load(id, file, path, version string, blob []byte) *Model {
 			return m
 		}
 	}
+	// Posterior samples are parameter vectors too: the same layout and
+	// finiteness contract as the model's own vector, enforced before any
+	// sample can reach a lane.
+	for si, sample := range m.posterior {
+		if len(sample) != len(r.consts) {
+			m.Status = StatusRejected
+			m.Reason = RejectBadParams
+			m.Detail = fmt.Sprintf("posterior sample %d has %d entries, serving constants have %d", si, len(sample), len(r.consts))
+			return m
+		}
+		for i, p := range sample {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				m.Status = StatusRejected
+				m.Reason = RejectBadParams
+				m.Detail = fmt.Sprintf("posterior sample %d parameter %d (%s) is non-finite", si, i, r.consts[i].Name)
+				return m
+			}
+		}
+	}
 
 	// Compile once: the same derive → split → simplify → bind pipeline as
 	// the evaluator tier-1 path, ending in the lane-capable SegSystem the
@@ -340,7 +369,8 @@ func (r *Registry) load(id, file, path, version string, blob []byte) *Model {
 // orchestrator checkpoints (no serving fingerprints) contribute their best
 // individual across islands and rely on compile + validation alone.
 func (r *Registry) decode(m *Model, path string, blob []byte) (*gp.Individual, error) {
-	if b, err := gp.ReadBundle(strings.NewReader(string(blob))); err == nil {
+	b, bundleErr := gp.ReadBundle(strings.NewReader(string(blob)))
+	if bundleErr == nil {
 		m.Source = "bundle"
 		m.Name = b.Name
 		m.SavedAt = b.SavedAt
@@ -354,11 +384,17 @@ func (r *Registry) decode(m *Model, path string, blob []byte) (*gp.Individual, e
 			m.Reason = RejectConfigMismatch
 			return nil, fmt.Errorf("bundle config digest %s, serving config %s", b.ConfigDigest, r.configDigest)
 		}
+		// ReadBundle already verified the posterior block's version and
+		// digest; a tampered block never gets here (decode_error).
+		if b.Posterior != nil {
+			m.posterior = b.Posterior.Samples
+			m.posteriorDigest = b.Posterior.Digest
+		}
 		return b.Resolve(r.g)
 	}
 	ck, err := orchestrator.LoadCheckpoint(path)
 	if err != nil {
-		return nil, fmt.Errorf("neither a model bundle nor a checkpoint: %v", err)
+		return nil, fmt.Errorf("neither a model bundle (%v) nor a checkpoint (%v)", bundleErr, err)
 	}
 	m.Source = "checkpoint"
 	m.SavedAt = ck.SavedAt

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"gmr/internal/gp"
+)
+
+// Posterior admission tests: a bundle's posterior block must be
+// digest-verified at decode time and dimension/finiteness-checked at load
+// time, so a bad posterior can never reach the ensemble executor.
+
+func TestRegistryPosteriorRejections(t *testing.T) {
+	s, dir := newTestServer(t, nil)
+
+	// Tampered sample after sealing: ReadBundle's Verify fails, so the
+	// whole bundle is a decode error.
+	writeBundle(t, dir, "tampered-posterior",
+		withPosterior(t, testBundle(t, "tp", 0), 4, 1), func(b *gp.ModelBundle) {
+			b.Posterior.Samples[2][0] *= 1.5
+		})
+	// Wrong-dimension samples sealed with a valid digest: passes Verify,
+	// rejected by the registry's dimension check.
+	writeBundle(t, dir, "short-posterior", testBundle(t, "sp", 0), func(b *gp.ModelBundle) {
+		b.Posterior = gp.NewBundlePosterior("DREAM", [][]float64{{1, 2, 3}})
+	})
+	// (A non-finite sample can't be round-tripped through JSON — the
+	// registry's finiteness check is defense-in-depth for future codecs.)
+
+	if err := s.Reload(); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+
+	want := map[string]struct {
+		reason string
+		detail string
+	}{
+		"tampered-posterior": {RejectDecodeError, "digest"},
+		"short-posterior":    {RejectBadParams, "3 entries"},
+	}
+	for _, m := range s.Registry().Models() {
+		w, rejected := want[m.ID]
+		if !rejected {
+			if !m.Ready() {
+				t.Errorf("model %s: unexpectedly rejected: %s (%s)", m.ID, m.Reason, m.Detail)
+			}
+			continue
+		}
+		if m.Ready() {
+			t.Errorf("model %s: accepted, want rejection %s", m.ID, w.reason)
+			continue
+		}
+		if m.Reason != w.reason {
+			t.Errorf("model %s: reason %s, want %s (%s)", m.ID, m.Reason, w.reason, m.Detail)
+		}
+		if !strings.Contains(m.Detail, w.detail) {
+			t.Errorf("model %s: detail %q missing %q", m.ID, m.Detail, w.detail)
+		}
+	}
+
+	// The pristine champion still serves, posterior-free.
+	champ, why := s.Registry().Lookup("")
+	if champ == nil {
+		t.Fatalf("no champion: %s", why)
+	}
+	if champ.PosteriorSize() != 0 {
+		t.Fatalf("champion posterior size %d, want 0", champ.PosteriorSize())
+	}
+}
+
+func TestRegistryPosteriorSize(t *testing.T) {
+	s, dir := newTestServer(t, nil)
+	writeBundle(t, dir, "with-posterior", withPosterior(t, testBundle(t, "wp", 0), 12, 7))
+	if err := s.Reload(); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	m, why := s.Registry().Lookup("with-posterior")
+	if m == nil {
+		t.Fatalf("lookup: %s", why)
+	}
+	if !m.Ready() {
+		t.Fatalf("rejected: %s (%s)", m.Reason, m.Detail)
+	}
+	if m.PosteriorSize() != 12 {
+		t.Fatalf("posterior size %d, want 12", m.PosteriorSize())
+	}
+}

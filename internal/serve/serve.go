@@ -19,6 +19,7 @@ import (
 	"gmr/internal/dataset"
 	"gmr/internal/expr"
 	"gmr/internal/obs"
+	"gmr/internal/serve/api"
 )
 
 // laneWidth is the SoA kernel's lane count — the hard upper bound on
@@ -237,25 +238,59 @@ func (s *Server) execute(ctx context.Context, spec *execSpec) (*ForecastResponse
 			}
 			return nil, "internal", res.err
 		}
-		return &ForecastResponse{
-			Model:       spec.model.ID,
-			Version:     spec.model.Version,
-			Station:     spec.key.station,
-			Start:       spec.key.start,
-			StartDate:   s.ds.Dates[spec.key.start],
-			Days:        spec.key.days,
-			Predictions: res.preds,
-			Quarantined: res.quarantined,
-			Reason:      res.reason,
-			Died:        res.died,
-		}, "", nil
+		return s.packageResponse(spec, res), "", nil
 	case <-ctx.Done():
 		return nil, "timeout", fmt.Errorf("forecast timed out after %s (queued or executing)", s.reqTimeout)
 	}
 }
 
+// packageResponse builds the wire response from an executed spec. Point
+// forecasts carry the member's trajectory; ensemble forecasts carry the
+// survivors' mean as Predictions plus the band block — with an empty
+// Predictions series when every member diverged (the response is then
+// flagged quarantined with the first fault's reason).
+func (s *Server) packageResponse(spec *execSpec, res execResult) *ForecastResponse {
+	resp := &ForecastResponse{
+		Model:       spec.model.ID,
+		Version:     spec.model.Version,
+		Station:     spec.key.station,
+		Start:       spec.key.start,
+		StartDate:   s.ds.Dates[spec.key.start],
+		Days:        spec.key.days,
+		Predictions: res.preds,
+		Quarantined: res.quarantined,
+		Reason:      res.reason,
+		Died:        res.died,
+	}
+	if res.ens != nil {
+		er := &api.EnsembleResult{
+			Members:         len(spec.ens.members),
+			PosteriorDigest: spec.model.posteriorDigest,
+		}
+		for _, f := range res.ens.run.Faults {
+			er.Faults = append(er.Faults, api.MemberFault{Member: f.Member, Reason: f.Reason, Day: f.Day})
+		}
+		if red := res.ens.red; red != nil {
+			er.Survivors = red.Survivors
+			er.Bands = make(map[string][]float64, len(red.Quantiles))
+			for i, q := range red.Quantiles {
+				er.Bands[api.BandName(q)] = red.Bands[i]
+			}
+			er.Spread = red.Spread
+			resp.Predictions = red.Mean
+		} else {
+			resp.Predictions = []float64{}
+		}
+		resp.Ensemble = er
+	}
+	return resp
+}
+
 // respKeyFor is the response-cache key of a resolved request: the cohort
-// key plus the parameter-override digest.
-func respKeyFor(req *ForecastRequest, spec *execSpec) respKey {
-	return respKey{cohortKey: spec.key, paramDigest: overridesDigest(req.Params)}
+// key (ensemble digest included), the parameter-override digest, and the
+// wire version ("v1"/"v2") — the two surfaces serialize through the same
+// DTOs today, but the salt guarantees a future divergence can never serve
+// one version's bytes to the other.
+func respKeyFor(req *ForecastRequest, spec *execSpec, wire string) respKey {
+	return respKey{cohortKey: spec.key, paramDigest: overridesDigest(req.Params), wire: wire}
 }

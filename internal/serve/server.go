@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
+
+	"gmr/internal/serve/api"
 )
 
 // The HTTP surface (stdlib net/http only):
@@ -12,12 +15,18 @@ import (
 //	POST /v1/forecast  — run a forecast (ForecastRequest → ForecastResponse)
 //	GET  /v1/models    — catalog listing, rejected entries with reason codes
 //	POST /v1/reload    — rescan the model directory (also on SIGHUP)
+//	POST /v2/forecast  — point or ensemble forecast, typed error envelope
+//	GET  /v2/models    — catalog listing with posterior sizes
+//	POST /v2/reload    — rescan the model directory
 //	GET  /healthz      — liveness (process is up)
 //	GET  /readyz       — readiness (has a champion, not draining)
 //	GET  /metrics      — Prometheus text exposition
 //
-// Every request runs behind panic isolation: a handler panic answers 500
-// for that request and the daemon keeps serving.
+// The v1 handlers in this file are compatibility adapters, pinned
+// byte-for-byte to their pre-v2 responses (tested against golden bodies);
+// the v2 handlers live in server_v2.go. Every request runs behind panic
+// isolation: a handler panic answers 500 for that request and the daemon
+// keeps serving.
 
 // errorBody is the uniform JSON error envelope.
 type errorBody struct {
@@ -56,12 +65,18 @@ func (s *Server) writeError(w http.ResponseWriter, code string, err error) {
 }
 
 // Handler returns the daemon's routing table wrapped in per-request panic
-// isolation.
+// isolation. The /v1 endpoints are thin adapters over the same DTOs and
+// executor as /v2, pinned byte-for-byte to their pre-v2 behavior; /v2 adds
+// ensemble forecasting, strict decoding, and the typed error envelope
+// (see internal/serve/api).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/forecast", s.handleForecast)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/v2/forecast", s.handleForecastV2)
+	mux.HandleFunc("/v2/models", s.handleModelsV2)
+	mux.HandleFunc("/v2/reload", s.handleReloadV2)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -79,9 +94,16 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 				s.m.countRequest("panic")
 				// Best-effort: if the handler already wrote, this is a no-op
 				// on the status line and the client sees a truncated body.
-				writeJSON(w, http.StatusInternalServerError, errorBody{
-					Error: fmt.Sprintf("internal error: %v", p), Code: "panic",
-				})
+				// v2 paths get the typed envelope; v1 keeps its historical
+				// error body.
+				if strings.HasPrefix(r.URL.Path, "/v2/") {
+					writeJSON(w, http.StatusInternalServerError,
+						api.NewError(api.CodeInternal, fmt.Sprintf("internal error: %v", p), ""))
+				} else {
+					writeJSON(w, http.StatusInternalServerError, errorBody{
+						Error: fmt.Sprintf("internal error: %v", p), Code: "panic",
+					})
+				}
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -101,6 +123,10 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, "bad_request", fmt.Errorf("invalid request body: %v", err))
 		return
 	}
+	// v1 predates the ensemble block; before the DTOs were shared with v2
+	// this handler's lenient decode silently ignored an "ensemble" key, so
+	// it must keep doing exactly that.
+	req.Ensemble = nil
 	if s.draining.Load() {
 		s.writeError(w, "draining", errDraining)
 		return
@@ -110,7 +136,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, code, err)
 		return
 	}
-	key := respKeyFor(&req, spec)
+	key := respKeyFor(&req, spec, "v1")
 	if body := s.respCache.get(key); body != nil {
 		s.m.countRequest("ok")
 		w.Header().Set("Content-Type", "application/json")

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
@@ -61,6 +62,35 @@ func testBundle(t *testing.T, name string, scale float64) *gp.ModelBundle {
 	if err != nil {
 		t.Fatalf("new bundle: %v", err)
 	}
+	return b
+}
+
+// withPosterior attaches n posterior samples to a bundle: the baseline
+// parameters jittered inside the Table III box (seeded, deterministic),
+// so every member simulates stably. Returns the bundle for chaining.
+func withPosterior(t *testing.T, b *gp.ModelBundle, n int, seed int64) *gp.ModelBundle {
+	t.Helper()
+	ind, _, err := core.ManualIndividual(core.Config{})
+	if err != nil {
+		t.Fatalf("manual individual: %v", err)
+	}
+	consts := bio.DefaultConstants()
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([][]float64, n)
+	for i := range samples {
+		v := append([]float64(nil), ind.Params...)
+		for j := range v {
+			v[j] += 0.05 * (consts[j].Max - consts[j].Min) * (rng.Float64() - 0.5)
+			if v[j] < consts[j].Min {
+				v[j] = consts[j].Min
+			}
+			if v[j] > consts[j].Max {
+				v[j] = consts[j].Max
+			}
+		}
+		samples[i] = v
+	}
+	b.Posterior = gp.NewBundlePosterior("DREAM", samples)
 	return b
 }
 
